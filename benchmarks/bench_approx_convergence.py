@@ -1,0 +1,121 @@
+"""APPROX-POS — the positive side of Theorems 5/6 ([DLPSW], [MS]).
+
+Regenerates: the convergence curve of iterated trimmed-mean averaging
+(spread vs rounds, with Byzantine injection) and the round count the
+Mahaney–Schneider midpoint needs to reach a target ε.
+"""
+
+from conftest import report
+
+from repro.analysis import format_table
+from repro.graphs import complete_graph
+from repro.protocols import (
+    dlpsw_devices,
+    inexact_devices,
+    rounds_for_target,
+)
+from repro.runtime.sync import RandomLiarDevice, make_system, run
+
+
+def _spread_after(n, f, rounds, seed=3):
+    g = complete_graph(n)
+    devices = dict(dlpsw_devices(g, f, rounds))
+    nodes = list(g.nodes)
+    for i, node in enumerate(nodes[-f:]):
+        devices[node] = RandomLiarDevice(
+            seed + i, value_pool=(-50.0, 50.0, 0.0)
+        )
+    inputs = {u: i / (n - 1) for i, u in enumerate(nodes)}
+    behavior = run(make_system(g, devices, inputs), rounds)
+    honest = nodes[: n - f]
+    decisions = [behavior.decision(u) for u in honest]
+    return max(decisions) - min(decisions)
+
+
+def test_convergence_curve(benchmark):
+    def curve():
+        return [(r, _spread_after(7, 2, r)) for r in (1, 2, 3, 4, 5, 6)]
+
+    rows = benchmark(curve)
+    report(
+        "APPROX-POS: DLPSW trimmed-mean convergence (n=7, f=2, "
+        "liars injecting ±50)",
+        format_table(("rounds", "honest spread"), rows),
+    )
+    spreads = [s for _, s in rows]
+    # Geometric-ish contraction: strictly decreasing and far below the
+    # initial unit spread after six rounds.
+    assert all(b <= a + 1e-12 for a, b in zip(spreads, spreads[1:]))
+    assert spreads[-1] < 0.05
+
+
+def test_validity_never_violated(benchmark):
+    def check():
+        g = complete_graph(4)
+        devices = dict(dlpsw_devices(g, 1, 4))
+        devices["n3"] = RandomLiarDevice(8, value_pool=(-1e6, 1e6))
+        inputs = {"n0": 0.2, "n1": 0.5, "n2": 0.8, "n3": 0.0}
+        behavior = run(make_system(g, devices, inputs), 4)
+        return [behavior.decision(u) for u in ("n0", "n1", "n2")]
+
+    decisions = benchmark(check)
+    assert all(0.2 <= d <= 0.8 for d in decisions)
+
+
+def test_inexact_agreement_round_budget(benchmark):
+    epsilon, delta = 0.125, 1.0
+    rounds = rounds_for_target(delta, epsilon)
+
+    def once():
+        g = complete_graph(4)
+        devices = dict(inexact_devices(g, 1, epsilon, delta))
+        devices["n3"] = RandomLiarDevice(4)
+        inputs = {"n0": 0.0, "n1": 0.4, "n2": 1.0, "n3": 0.5}
+        behavior = run(make_system(g, devices, inputs), rounds)
+        decisions = [behavior.decision(u) for u in ("n0", "n1", "n2")]
+        return max(decisions) - min(decisions)
+
+    final_spread = benchmark(once)
+    report(
+        "APPROX-POS: MS inexact agreement",
+        f"target ε = {epsilon}, δ = {delta}: {rounds} halving rounds; "
+        f"achieved honest spread {final_spread:.4g}",
+    )
+    assert final_spread <= epsilon + 1e-9
+
+
+def test_convergence_curve_via_library(benchmark):
+    """Same experiment through the library's measurement API, compared
+    against [DLPSW]'s theoretical contraction."""
+    from repro.analysis import measure_convergence, theoretical_dlpsw_factor
+
+    g = complete_graph(7)
+    nodes = list(g.nodes)
+    inputs = {u: i / 6 for i, u in enumerate(nodes)}
+
+    def adversary():
+        return {
+            nodes[-1 - i]: RandomLiarDevice(i, value_pool=(-10.0, 10.0))
+            for i in range(2)
+        }
+
+    curve = benchmark(
+        lambda: measure_convergence(
+            g,
+            lambda rounds: dlpsw_devices(g, 2, rounds),
+            inputs,
+            nodes[:5],
+            adversary_builder=adversary,
+            max_rounds=5,
+        )
+    )
+    bound = theoretical_dlpsw_factor(7, 2)
+    report(
+        "APPROX-POS: measured convergence curve",
+        format_table(
+            ("rounds", "honest spread"), curve.rows(),
+            f"per-round [DLPSW] f,k-averaging bound: {bound}",
+        ),
+    )
+    assert curve.worst_factor() < 1.0
+    assert curve.spreads[-1] / curve.spreads[0] < bound

@@ -1,0 +1,95 @@
+"""AUTH — weakening the Fault axiom (Section 2's remark).
+
+With simulated unforgeable signatures, Dolev–Strong agreement works on
+the very graphs the theorems forbid: the triangle with f = 1, and even
+n = f + 2.  The table contrasts the unauthenticated engine verdict
+with the authenticated protocol outcome on the same graph.
+"""
+
+from conftest import report
+
+from repro.analysis import format_table
+from repro.core import refute_node_bound
+from repro.graphs import complete_graph, triangle
+from repro.problems import ByzantineAgreementSpec
+from repro.protocols import (
+    MajorityVoteDevice,
+    authenticated_consensus_devices,
+)
+from repro.runtime.sync import SilentDevice, TwoFacedDevice, make_system, run
+
+SPEC = ByzantineAgreementSpec()
+
+
+def _auth_run(n, f, faulty_builder):
+    g = complete_graph(n)
+    devices = dict(authenticated_consensus_devices(g, f))
+    honest_reference = authenticated_consensus_devices(g, f)
+    faulty = list(g.nodes)[-f:]
+    for node in faulty:
+        devices[node] = faulty_builder(honest_reference[node])
+    inputs = {u: (1 if i < n - f else 0) for i, u in enumerate(g.nodes)}
+    behavior = run(make_system(g, devices, inputs), f + 1)
+    correct = [u for u in g.nodes if u not in faulty]
+    return SPEC.check(inputs, behavior.decisions(), correct)
+
+
+def test_triangle_with_signatures(benchmark):
+    verdict = benchmark(
+        lambda: _auth_run(3, 1, lambda honest: SilentDevice())
+    )
+    assert verdict.ok
+
+    # Contrast: the same graph WITHOUT signatures.
+    g = triangle()
+    witness = refute_node_bound(
+        g, {u: MajorityVoteDevice() for u in g.nodes}, 1, rounds=3
+    )
+    rows = [
+        ("oral messages (Fault axiom holds)", "IMPOSSIBLE — witness found"),
+        ("signed messages (Fault axiom weakened)", "agreement reached"),
+    ]
+    report(
+        "AUTH: the triangle, with and without signatures",
+        format_table(("model", "outcome"), rows),
+    )
+    assert witness.found and verdict.ok
+
+
+def test_two_faced_general_with_signatures(benchmark):
+    verdict = benchmark(
+        lambda: _auth_run(
+            3,
+            1,
+            lambda honest: TwoFacedDevice(honest, honest, ["n0"]),
+        )
+    )
+    assert verdict.ok
+
+
+def test_broadcast_at_n_equals_f_plus_2(benchmark):
+    """Dolev–Strong *broadcast* tolerates any f < n: four nodes, two
+    Byzantine faults (far below 3f+1 = 7), correct general — every
+    correct node accepts the general's value.
+
+    (Full consensus validity additionally needs a correct majority,
+    n > 2f; broadcast does not.)
+    """
+    from repro.protocols import DolevStrongBroadcastDevice
+
+    g = complete_graph(4)
+    f = 2
+
+    def once():
+        devices = {
+            u: DolevStrongBroadcastDevice(u, general="n0", max_faults=f)
+            for u in g.nodes
+        }
+        devices["n2"] = SilentDevice()
+        devices["n3"] = SilentDevice()
+        inputs = {"n0": 1, "n1": None, "n2": None, "n3": None}
+        behavior = run(make_system(g, devices, inputs), f + 1)
+        return behavior.decisions()
+
+    decisions = benchmark(once)
+    assert decisions["n0"] == 1 and decisions["n1"] == 1

@@ -1,0 +1,83 @@
+"""AXIOMS — micro-benchmarks of the model machinery (Section 2).
+
+Times the operational cost of the pieces every proof leans on: the
+synchronous executor, covering installation, Fault-axiom replay
+assembly, connectivity computation, and the timed executor — plus
+determinism verification.
+"""
+
+from conftest import report
+
+from repro.core import build_base_behavior, node_bound_scenarios
+from repro.graphs import (
+    complete_graph,
+    hexagon_cover_of_triangle,
+    node_bound_double_cover,
+    node_connectivity,
+    random_connected_graph,
+    triangle,
+)
+from repro.protocols import MajorityVoteDevice, eig_devices
+from repro.runtime.sync import (
+    check_determinism,
+    install_in_covering,
+    make_system,
+    run,
+)
+
+
+def test_sync_executor_throughput(benchmark):
+    g = complete_graph(7)
+    devices = eig_devices(g, 2)
+    inputs = {u: i % 2 for i, u in enumerate(g.nodes)}
+    system = make_system(g, devices, inputs)
+    behavior = benchmark(lambda: run(system, 3))
+    assert behavior.rounds == 3
+
+
+def test_covering_installation(benchmark):
+    g = triangle()
+    devices = {u: MajorityVoteDevice() for u in g.nodes}
+
+    def install():
+        cm = hexagon_cover_of_triangle()
+        inputs = {u: 0 for u in cm.cover.nodes}
+        return install_in_covering(cm, devices, inputs)
+
+    system = benchmark(install)
+    assert len(system.graph) == 6
+
+
+def test_fault_axiom_assembly(benchmark):
+    g = triangle()
+    devices = {u: MajorityVoteDevice() for u in g.nodes}
+    dc = node_bound_double_cover(g, {"a"}, {"b"}, {"c"})
+    cover_inputs = {dc.copy_of(v, 0): 0 for v in g.nodes}
+    cover_inputs.update({dc.copy_of(v, 1): 1 for v in g.nodes})
+    cover_system = install_in_covering(dc.covering, devices, cover_inputs)
+    cover_behavior = run(cover_system, 3)
+    scenario = node_bound_scenarios(dc, {"a"}, {"b"}, {"c"})[0]
+
+    constructed = benchmark(
+        lambda: build_base_behavior(
+            dc.covering, cover_system, cover_behavior, scenario, devices
+        )
+    )
+    assert constructed.correct_nodes == frozenset({"b", "c"})
+
+
+def test_connectivity_computation(benchmark):
+    import random
+
+    g = random_connected_graph(16, 0.3, random.Random(7))
+    kappa = benchmark(lambda: node_connectivity(g))
+    assert kappa >= 1
+    report("AXIOMS: connectivity", f"random 16-node graph has κ = {kappa}")
+
+
+def test_determinism_verification(benchmark):
+    g = complete_graph(4)
+    system = make_system(
+        g, eig_devices(g, 1), {u: i % 2 for i, u in enumerate(g.nodes)}
+    )
+    assert benchmark(lambda: check_determinism(system, 2))

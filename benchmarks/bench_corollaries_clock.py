@@ -1,0 +1,86 @@
+"""C12–15 — the clock synchronization corollaries (Section 7.1).
+
+Regenerates: one table per corollary family, reporting the
+engine-certified unbeatable skew: linear-envelope (C12), diverging
+linear clocks (C13, growing skew), offset clocks (C14, constant a·c),
+and logarithmic logical clocks (C15, constant log₂ r).
+"""
+
+import math
+
+from conftest import report
+
+from repro.analysis import format_table
+from repro.core import (
+    corollary_12_linear_envelope,
+    corollary_13_diverging_linear,
+    corollary_14_offset_clocks,
+    corollary_15_logarithmic,
+)
+from repro.core.corollaries import Log2Envelope, trivial_skew_table
+from repro.graphs import triangle
+from repro.protocols import LowerEnvelopeClockDevice
+from repro.runtime.timed import LinearClock
+
+LINEAR = LinearClock(1.0, 0.0)
+LOG = Log2Envelope(shift=1.0)
+
+
+def _factories(lower):
+    return {
+        u: (lambda: LowerEnvelopeClockDevice(lower))
+        for u in triangle().nodes
+    }
+
+
+def test_corollary_12(benchmark):
+    out = benchmark(lambda: corollary_12_linear_envelope(_factories(LINEAR)))
+    assert out.witness.found
+    report(
+        "C12: linear envelope synchronization",
+        format_table(
+            ("t", "unbeatable skew"),
+            trivial_skew_table(out),
+            out.unbeatable_skew_description,
+        ),
+    )
+    skews = dict(trivial_skew_table(out))
+    assert skews[10.0] > skews[1.0]  # no constant bound exists
+
+
+def test_corollary_13(benchmark):
+    out = benchmark(
+        lambda: corollary_13_diverging_linear(_factories(LINEAR), rate=1.25)
+    )
+    assert out.witness.found
+    assert out.trivial_skew_at(4.0) == 4.0 * 0.25  # a·(r-1)·t
+
+
+def test_corollary_14(benchmark):
+    out = benchmark(
+        lambda: corollary_14_offset_clocks(
+            _factories(LINEAR), offset=0.5, a=2.0
+        )
+    )
+    assert out.witness.found
+    # The optimum is the CONSTANT a·c = 1.0 at every time.
+    for t in (1.0, 3.0, 10.0):
+        assert abs(out.trivial_skew_at(t) - 1.0) < 1e-9
+
+
+def test_corollary_15(benchmark):
+    out = benchmark(
+        lambda: corollary_15_logarithmic(_factories(LOG), rate=2.0)
+    )
+    assert out.witness.found
+    # log2 logical clocks flatten diverging clocks to ~log2(r) skew.
+    late = out.trivial_skew_at(500.0)
+    assert abs(late - math.log2(2.0)) < 0.02
+    report(
+        "C15: logarithmic logical clocks",
+        format_table(
+            ("t", "trivial skew -> log2(r) = 1"),
+            trivial_skew_table(out, (1.0, 10.0, 100.0, 500.0)),
+            out.unbeatable_skew_description,
+        ),
+    )

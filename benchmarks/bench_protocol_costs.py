@@ -1,0 +1,81 @@
+"""COST — protocol cost comparison (context for the bounds).
+
+The bounds the paper proves are about *possibility*; this bench adds
+the classical cost picture for the matching protocols: EIG's traffic
+grows exponentially with f (it relays its entire tree every round),
+phase king stays polynomial (but needs n > 4f), authenticated
+agreement pays in signature chains, and sparse-graph agreement
+multiplies everything by the 2f+1 path redundancy.
+"""
+
+from conftest import report
+
+from repro.analysis import format_table
+from repro.analysis.metrics import COMPARE_HEADERS, compare, measure
+from repro.graphs import circulant, complete_graph
+from repro.protocols import (
+    authenticated_consensus_devices,
+    eig_devices,
+    phase_king_devices,
+    sparse_agreement_devices,
+)
+from repro.runtime.sync import make_system, run
+
+
+def _run_and_measure(graph, devices, rounds):
+    inputs = {u: i % 2 for i, u in enumerate(graph.nodes)}
+    return measure(run(make_system(graph, devices, inputs), rounds))
+
+
+def test_cost_table_f1(benchmark):
+    def build():
+        metrics = {}
+        k4 = complete_graph(4)
+        metrics["EIG (n=4, f=1)"] = _run_and_measure(
+            k4, eig_devices(k4, 1), 2
+        )
+        k5 = complete_graph(5)
+        metrics["phase king (n=5, f=1)"] = _run_and_measure(
+            k5, phase_king_devices(k5, 1), 4
+        )
+        metrics["Dolev-Strong auth (n=4, f=1)"] = _run_and_measure(
+            k4, authenticated_consensus_devices(k4, 1), 2
+        )
+        sparse = circulant(7, [1, 2])
+        devices, rounds = sparse_agreement_devices(sparse, 1)
+        metrics["EIG over relay (n=7, κ=4, f=1)"] = _run_and_measure(
+            sparse, devices, rounds
+        )
+        return metrics
+
+    metrics = benchmark(build)
+    report(
+        "COST: matching protocols, f = 1",
+        format_table(COMPARE_HEADERS, compare(metrics)),
+    )
+    assert metrics["EIG (n=4, f=1)"].last_decision_round == 2
+    # Relay redundancy costs more messages than plain EIG at similar n.
+    assert (
+        metrics["EIG over relay (n=7, κ=4, f=1)"].messages
+        > metrics["EIG (n=4, f=1)"].messages
+    )
+
+
+def test_eig_traffic_grows_exponentially(benchmark):
+    def grow():
+        rows = []
+        for f in (1, 2):
+            n = 3 * f + 1
+            g = complete_graph(n)
+            metrics = _run_and_measure(g, eig_devices(g, f), f + 1)
+            rows.append((f, n, metrics.messages, metrics.traffic))
+        return rows
+
+    rows = benchmark(grow)
+    report(
+        "COST: EIG traffic vs f",
+        format_table(("f", "n", "messages", "traffic"), rows),
+    )
+    # Traffic ratio between f=2 and f=1 far exceeds the node ratio —
+    # the exponential tree at work.
+    assert rows[1][3] > 10 * rows[0][3]

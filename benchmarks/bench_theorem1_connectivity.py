@@ -1,0 +1,73 @@
+"""T1b — Theorem 1, connectivity bound (Section 3.2).
+
+Regenerates: the diamond + eight-ring covering figures, the scenario
+chain S1/S2/S3, and a sweep over circulant graphs showing the 2f+1
+connectivity threshold.
+"""
+
+from conftest import report
+
+from repro.analysis import (
+    SWEEP_HEADERS,
+    connectivity_sweep,
+    diamond_figure,
+    eight_ring_figure,
+    format_table,
+)
+from repro.core import refute_connectivity
+from repro.graphs import diamond, node_connectivity, ring, wheel
+from repro.protocols import MajorityVoteDevice
+
+
+def test_diamond_chain(benchmark):
+    g = diamond()
+    assert node_connectivity(g) == 2  # < 2f+1 = 3
+    devices = {u: MajorityVoteDevice() for u in g.nodes}
+
+    witness = benchmark(
+        lambda: refute_connectivity(g, devices, max_faults=1, rounds=4)
+    )
+
+    assert witness.found
+    assert len(witness.checked) == 3
+    assert [c.label for c in witness.violated] == ["E2"]
+    report(
+        "T1b: connectivity bound (diamond, κ=2, f=1)",
+        "\n".join(
+            [diamond_figure(), "", eight_ring_figure(), "", witness.describe()]
+        ),
+    )
+
+
+def test_node_rich_but_cut_poor(benchmark):
+    # Plenty of nodes (6 >= 3f+1) but a ring has connectivity 2.
+    g = ring(6)
+    devices = {u: MajorityVoteDevice() for u in g.nodes}
+    witness = benchmark(
+        lambda: refute_connectivity(g, devices, max_faults=1, rounds=4)
+    )
+    assert witness.found
+
+
+def test_wheel_two_faults(benchmark):
+    g = wheel(6)  # n = 7 >= 7, κ = 3 < 5 = 2f+1 for f = 2
+    devices = {u: MajorityVoteDevice() for u in g.nodes}
+    witness = benchmark(
+        lambda: refute_connectivity(g, devices, max_faults=2, rounds=4)
+    )
+    assert witness.found
+
+
+def test_connectivity_sweep(benchmark):
+    rows = benchmark(lambda: connectivity_sweep(max_faults=1, n_nodes=8))
+    table = format_table(
+        SWEEP_HEADERS,
+        [r.as_tuple() for r in rows],
+        "Connectivity sweep on 8-node circulants (f = 1)",
+    )
+    report("T1b: threshold sweep", table)
+    for row in rows:
+        if row.connectivity < 3:
+            assert "IMPOSSIBLE" in row.outcome
+        else:
+            assert "DELIVERED" in row.outcome

@@ -1,0 +1,82 @@
+"""T1a — Theorem 1, node bound (Section 3.1).
+
+Regenerates: the triangle + hexagon covering figures, the scenario
+chain E1/E2/E3, and the sweep table showing the sharp 3f+1 threshold
+(engine witness at n <= 3f, EIG success at n >= 3f+1).
+"""
+
+from conftest import report
+
+from repro.analysis import (
+    SWEEP_HEADERS,
+    format_table,
+    hexagon_figure,
+    node_bound_sweep,
+    triangle_figure,
+    witness_chain_figure,
+)
+from repro.core import refute_node_bound
+from repro.graphs import complete_graph, triangle
+from repro.protocols import MajorityVoteDevice
+
+
+def test_triangle_chain(benchmark):
+    g = triangle()
+    devices = {u: MajorityVoteDevice() for u in g.nodes}
+
+    witness = benchmark(
+        lambda: refute_node_bound(g, devices, max_faults=1, rounds=3)
+    )
+
+    assert witness.found
+    assert len(witness.checked) == 3
+    assert len(witness.links) == 2
+    # E1 and E3 satisfy validity for the majority device; the chain
+    # breaks in the mixed-input middle behavior E2 — the paper's shape.
+    assert [c.label for c in witness.violated] == ["E2"]
+    benchmark.extra_info["violated"] = [c.label for c in witness.violated]
+    report(
+        "T1a: Byzantine agreement, 3f+1 node bound (triangle, f=1)",
+        "\n".join(
+            [
+                triangle_figure(),
+                "",
+                hexagon_figure(),
+                "",
+                witness.describe(),
+                "",
+                "chain: "
+                + witness_chain_figure(
+                    [c.label for c in witness.checked],
+                    [str(link.node) for link in witness.links],
+                ),
+            ]
+        ),
+    )
+
+
+def test_general_case_two_faults(benchmark):
+    g = complete_graph(6)
+    devices = {u: MajorityVoteDevice() for u in g.nodes}
+    witness = benchmark(
+        lambda: refute_node_bound(g, devices, max_faults=2, rounds=3)
+    )
+    assert witness.found
+    for checked in witness.checked:
+        assert len(checked.constructed.correct_nodes) >= 4  # n - f
+
+
+def test_threshold_sweep(benchmark):
+    rows = benchmark(lambda: node_bound_sweep((1, 2)))
+    table = format_table(
+        SWEEP_HEADERS,
+        [r.as_tuple() for r in rows],
+        "Theorem 1 node-bound sweep (f = 1, 2)",
+    )
+    report("T1a: threshold sweep", table)
+    # Shape: impossible strictly below 3f+1, solvable at and above.
+    for row in rows:
+        if row.n_nodes <= 3 * row.max_faults:
+            assert "IMPOSSIBLE" in row.outcome
+        else:
+            assert "SOLVED" in row.outcome

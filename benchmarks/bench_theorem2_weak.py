@@ -1,0 +1,104 @@
+"""T2 — Theorem 2, weak agreement (Section 4).
+
+Regenerates: the 4k-ring figure with half-1/half-0 inputs, the Lemma 3
+indistinguishability table, and the decision profile around the ring
+showing agreement breaking exactly at the two half-boundaries.
+"""
+
+from conftest import report
+
+from repro.analysis import format_table
+from repro.core import agreement_frontier, refute_weak_agreement
+from repro.graphs import triangle
+from repro.protocols import AlarmWeakDevice, ExchangeOnceWeakDevice
+
+
+def _factories(factory):
+    return {u: factory for u in triangle().nodes}
+
+
+def test_exchange_once_refutation(benchmark):
+    witness = benchmark(
+        lambda: refute_weak_agreement(
+            _factories(lambda: ExchangeOnceWeakDevice(decide_at=2.0)),
+            delta=1.0,
+            decision_deadline=3.0,
+        )
+    )
+    assert witness.found
+    k = witness.extra["k"]
+    assert witness.extra["ring_size"] == 4 * k
+    assert k * 1.0 > witness.extra["t_prime"]
+
+    lemma3 = format_table(
+        ("ring node", "distance", "identical through", "decides", "expected"),
+        [
+            (
+                r["node"],
+                r["distance_to_other_half"],
+                r["identical_through"],
+                r["decides"],
+                r["expected"],
+            )
+            for r in witness.extra["lemma3"]
+        ],
+        "Lemma 3: ring middles are indistinguishable from all-correct runs",
+    )
+    decisions = format_table(
+        ("behavior", "correct pair", "verdict"),
+        [
+            (
+                c.label,
+                "/".join(
+                    f"{u}:{c.constructed.behavior.node(u).decision}"
+                    for u in sorted(map(str, c.constructed.correct_nodes))
+                ),
+                "OK" if c.verdict.ok else c.verdict.describe(),
+            )
+            for c in witness.checked
+        ],
+        "Every adjacent ring pair as a correct behavior of the triangle",
+    )
+    report("T2: weak agreement on the 4k ring", lemma3 + "\n\n" + decisions)
+
+    # Shape: Lemma 3 middles decide their half's value; agreement
+    # breaks at >= 2 boundary pairs.
+    for row in witness.extra["lemma3"]:
+        assert row["decides"] == row["expected"]
+    assert len(agreement_frontier(witness)) >= 2
+
+
+def test_alarm_device_refutation(benchmark):
+    witness = benchmark(
+        lambda: refute_weak_agreement(
+            _factories(lambda: AlarmWeakDevice(alarm_at=1.5, decide_at=3.0)),
+            delta=1.0,
+            decision_deadline=4.0,
+        )
+    )
+    assert witness.found
+    benchmark.extra_info["k"] = witness.extra["k"]
+
+
+def test_connectivity_variant_on_the_diamond(benchmark):
+    """The paper's "the connectivity bound follows as for Byzantine
+    agreement": the cyclic m-fold cover of the diamond (κ = 2 < 2f+1)
+    refutes weak agreement there too."""
+    from repro.core import refute_weak_agreement_connectivity
+    from repro.graphs import diamond
+
+    g = diamond()
+    witness = benchmark(
+        lambda: refute_weak_agreement_connectivity(
+            g,
+            {
+                u: (lambda: ExchangeOnceWeakDevice(decide_at=2.0))
+                for u in g.nodes
+            },
+            max_faults=1,
+            delta=1.0,
+            decision_deadline=3.0,
+        )
+    )
+    assert witness.found
+    benchmark.extra_info["copies"] = witness.extra["copies"]

@@ -1,0 +1,97 @@
+"""T4 — Theorem 4, Byzantine firing squad (Section 5).
+
+Regenerates: the 4k-ring with half the nodes stimulated, the
+fire-time profile around the ring (the FIRE wave breaking), and the
+middle-pair indistinguishability check.
+"""
+
+from conftest import report
+
+from repro.analysis import format_table
+from repro.core import refute_firing_squad
+from repro.core.firing_squad import fire_time_profile
+from repro.graphs import triangle
+from repro.protocols import CountdownFireDevice, RelayFireDevice
+
+
+def _factories(factory):
+    return {u: factory for u in triangle().nodes}
+
+
+def test_relay_fire_refutation(benchmark):
+    witness = benchmark(
+        lambda: refute_firing_squad(
+            _factories(lambda: RelayFireDevice(fire_at=2.5)),
+            delta=1.0,
+            fire_deadline=3.0,
+        )
+    )
+    assert witness.found
+
+    middles = format_table(
+        ("ring node", "stimulated", "fire time"),
+        [
+            (m["node"], m["stimulated"], m["fire_time"])
+            for m in witness.extra["middles"]
+        ],
+        "Middle pairs: stimulated middle fires at t, quiet middle does not",
+    )
+    profile = format_table(
+        ("behavior", "fire times of the correct pair", "verdict"),
+        [
+            (
+                label,
+                ", ".join(f"{u}@{t}" for u, t in sorted(times.items())),
+                "OK"
+                if next(
+                    c for c in witness.checked if c.label == label
+                ).verdict.ok
+                else "VIOLATED",
+            )
+            for label, times in fire_time_profile(witness)
+        ],
+        "The FIRE wave around the ring",
+    )
+    report("T4: Byzantine firing squad", middles + "\n\n" + profile)
+
+    stim_times = {
+        m["fire_time"] for m in witness.extra["middles"] if m["stimulated"]
+    }
+    quiet_times = {
+        m["fire_time"]
+        for m in witness.extra["middles"]
+        if not m["stimulated"]
+    }
+    assert stim_times == {witness.extra["fire_time"]}
+    assert witness.extra["fire_time"] not in quiet_times
+
+
+def test_countdown_fire_refutation(benchmark):
+    witness = benchmark(
+        lambda: refute_firing_squad(
+            _factories(lambda: CountdownFireDevice(fuse=3.0, delay=1.0)),
+            delta=1.0,
+            fire_deadline=4.0,
+        )
+    )
+    assert witness.found
+    benchmark.extra_info["ring_size"] = witness.extra["ring_size"]
+
+
+def test_connectivity_variant_on_the_diamond(benchmark):
+    """Theorem 4's connectivity bound via the cyclic cover of the
+    diamond."""
+    from repro.core import refute_firing_squad_connectivity
+    from repro.graphs import diamond
+
+    g = diamond()
+    witness = benchmark(
+        lambda: refute_firing_squad_connectivity(
+            g,
+            {u: (lambda: RelayFireDevice(fire_at=3.5)) for u in g.nodes},
+            max_faults=1,
+            delta=1.0,
+            fire_deadline=4.0,
+        )
+    )
+    assert witness.found

@@ -1,0 +1,50 @@
+"""T5 — Theorem 5, simple approximate agreement (Section 6.1).
+
+Regenerates: the hexagon covering with real inputs 0/1 and the
+three-scenario chain in which validity pins the endpoint outputs and
+agreement cannot contract the middle — for both the midpoint and the
+median device families, on both inadequate regimes.
+"""
+
+from conftest import report
+
+from repro.core import refute_simple_connectivity, refute_simple_node_bound
+from repro.graphs import complete_graph, diamond, triangle
+from repro.protocols import MedianDevice, MidpointDevice
+
+
+def test_midpoint_on_triangle(benchmark):
+    g = triangle()
+    devices = {u: MidpointDevice() for u in g.nodes}
+    witness = benchmark(
+        lambda: refute_simple_node_bound(g, devices, 1, rounds=3)
+    )
+    assert witness.found
+    report("T5: simple approximate agreement (midpoint)", witness.describe())
+
+
+def test_median_on_triangle(benchmark):
+    g = triangle()
+    devices = {u: MedianDevice() for u in g.nodes}
+    witness = benchmark(
+        lambda: refute_simple_node_bound(g, devices, 1, rounds=3)
+    )
+    assert witness.found
+
+
+def test_connectivity_variant(benchmark):
+    g = diamond()
+    devices = {u: MidpointDevice() for u in g.nodes}
+    witness = benchmark(
+        lambda: refute_simple_connectivity(g, devices, 1, rounds=4)
+    )
+    assert witness.found
+
+
+def test_general_case(benchmark):
+    g = complete_graph(6)
+    devices = {u: MidpointDevice() for u in g.nodes}
+    witness = benchmark(
+        lambda: refute_simple_node_bound(g, devices, 2, rounds=3)
+    )
+    assert witness.found

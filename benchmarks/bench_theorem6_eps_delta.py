@@ -1,0 +1,88 @@
+"""T6 — Theorem 6, (ε, δ, γ)-agreement (Section 6.2).
+
+Regenerates: the (k+2)-ring figure with inputs i·δ and the Lemma 7
+drift table (chosen values capped at δ+γ+iε from the left, forced
+above kδ-γ from the right), for several (ε, δ, γ) combinations.
+"""
+
+import pytest
+from conftest import report
+
+from repro.analysis import format_table
+from repro.core import refute_epsilon_delta, ring_size_for_epsilon_delta
+from repro.graphs import triangle
+from repro.protocols import MedianDevice, MidpointDevice
+
+
+def test_median_devices(benchmark):
+    devices = {u: MedianDevice() for u in triangle().nodes}
+    witness = benchmark(
+        lambda: refute_epsilon_delta(
+            devices, epsilon=0.25, delta=1.0, gamma=1.0, rounds=3
+        )
+    )
+    assert witness.found
+    table = format_table(
+        ("node", "input", "chosen", "Lemma 7 cap", "validity floor"),
+        [
+            (
+                r["node"],
+                r["input"],
+                r["chosen"],
+                r["lemma7_upper_bound"],
+                r["validity_lower_bound"],
+            )
+            for r in witness.extra["lemma7"]
+        ],
+        f"Lemma 7 drift on the (k+2)-ring, k = {witness.extra['k']}",
+    )
+    report("T6: (ε,δ,γ)-agreement", table)
+    # Shape: somewhere the chosen value must exceed the Lemma 7 cap or
+    # dip under the validity floor — i.e. a scenario is violated.
+    assert len(witness.violated) >= 1
+
+
+@pytest.mark.parametrize(
+    "epsilon,delta,gamma",
+    [(0.5, 1.0, 0.5), (0.1, 1.0, 0.2), (0.9, 1.0, 2.0)],
+)
+def test_parameter_sweep(benchmark, epsilon, delta, gamma):
+    devices = {u: MidpointDevice() for u in triangle().nodes}
+    witness = benchmark(
+        lambda: refute_epsilon_delta(
+            devices, epsilon=epsilon, delta=delta, gamma=gamma, rounds=3
+        )
+    )
+    assert witness.found
+    k = witness.extra["k"]
+    assert delta > 2 * gamma / (k - 1) + epsilon  # the paper's condition
+    benchmark.extra_info["k"] = k
+
+
+def test_ring_size_growth():
+    # Tighter ε→δ gaps need longer rings: k ~ 2γ/(δ-ε).
+    small_gap = ring_size_for_epsilon_delta(0.9, 1.0, 1.0)
+    large_gap = ring_size_for_epsilon_delta(0.1, 1.0, 1.0)
+    assert small_gap > large_gap
+
+
+def test_connectivity_variant_on_the_diamond(benchmark):
+    """Theorem 6's connectivity bound via the cyclic cover of the
+    diamond (valid for ε < δ/2; see the engine's docstring)."""
+    from repro.core import refute_epsilon_delta_connectivity
+    from repro.graphs import diamond
+
+    g = diamond()
+    witness = benchmark(
+        lambda: refute_epsilon_delta_connectivity(
+            g,
+            {u: MedianDevice() for u in g.nodes},
+            max_faults=1,
+            epsilon=0.25,
+            delta=1.0,
+            gamma=1.0,
+            rounds=3,
+        )
+    )
+    assert witness.found
+    assert any(c.label.startswith("B") for c in witness.violated)

@@ -1,0 +1,67 @@
+"""TIGHT-K — tightness of the 2f+1 connectivity bound.
+
+Dolev-style relay over 2f+1 vertex-disjoint paths delivers messages
+reliably at exactly connectivity 2f+1, while the engine constructs the
+counterexample one step below (see bench_theorem1_connectivity.py).
+Sweeps f and graph families; also times the disjoint-path computation.
+"""
+
+import pytest
+from conftest import report
+
+from repro.analysis import SWEEP_HEADERS, connectivity_sweep, format_table
+from repro.graphs import circulant, node_connectivity, vertex_disjoint_paths
+from repro.protocols import relay_devices, transmission_rounds
+from repro.runtime.sync import RandomLiarDevice, SilentDevice, make_system, run
+
+
+def test_connectivity_threshold_table(benchmark):
+    rows = benchmark(lambda: connectivity_sweep(max_faults=1, n_nodes=8))
+    report(
+        "TIGHT-K: the 2f+1 connectivity threshold",
+        format_table(SWEEP_HEADERS, [r.as_tuple() for r in rows]),
+    )
+    outcomes = {row.connectivity: row.outcome for row in rows}
+    assert any(
+        "IMPOSSIBLE" in outcome
+        for kappa, outcome in outcomes.items()
+        if kappa < 3
+    )
+    assert any(
+        "DELIVERED" in outcome
+        for kappa, outcome in outcomes.items()
+        if kappa >= 3
+    )
+
+
+@pytest.mark.parametrize(
+    "f,offsets", [(1, [1, 2]), (2, [1, 2, 3])], ids=["f1-k4", "f2-k6"]
+)
+def test_relay_under_maximal_corruption(benchmark, f, offsets):
+    g = circulant(11, offsets)
+    assert node_connectivity(g) >= 2 * f + 1
+    source, target = "c0", "c5"
+
+    def once():
+        devices = dict(relay_devices(g, source, target, f))
+        intermediaries = [u for u in g.nodes if u not in (source, target)]
+        for i in range(f):
+            devices[intermediaries[i]] = (
+                RandomLiarDevice(seed=i) if i % 2 else SilentDevice()
+            )
+        inputs = {u: ("SECRET" if u == source else None) for u in g.nodes}
+        rounds = transmission_rounds(g, source, target, f) + 1
+        return run(make_system(g, devices, inputs), rounds).decision(target)
+
+    assert benchmark(once) == "SECRET"
+
+
+def test_disjoint_path_computation(benchmark):
+    g = circulant(24, [1, 2, 3])
+    paths = benchmark(lambda: vertex_disjoint_paths(g, "c0", "c12"))
+    assert len(paths) == 6
+    interior = set()
+    for path in paths:
+        middle = set(path[1:-1])
+        assert not middle & interior
+        interior |= middle

@@ -1,0 +1,69 @@
+"""TIGHT-N — tightness of the 3f+1 node bound.
+
+The lower bound matters because [PSL/LSP] protocols match it: EIG
+succeeds at exactly n = 3f+1 under Byzantine adversaries, and the
+engine refutes everything below.  Also benchmarks EIG's cost growth
+(its messages are exponential in f — the price of optimal resilience)
+against phase king's polynomial messages at n > 4f.
+"""
+
+import pytest
+from conftest import report
+
+from repro.analysis import SWEEP_HEADERS, format_table, node_bound_sweep
+from repro.graphs import complete_graph
+from repro.problems import ByzantineAgreementSpec
+from repro.protocols import eig_devices, phase_king_devices
+from repro.runtime.sync import RandomLiarDevice, make_system, run
+
+SPEC = ByzantineAgreementSpec()
+
+
+def test_full_threshold_table(benchmark):
+    rows = benchmark(lambda: node_bound_sweep((1, 2)))
+    report(
+        "TIGHT-N: the 3f+1 threshold",
+        format_table(SWEEP_HEADERS, [r.as_tuple() for r in rows]),
+    )
+    boundary = {
+        (row.n_nodes, row.max_faults): row.outcome for row in rows
+    }
+    assert "IMPOSSIBLE" in boundary[(3, 1)]
+    assert "SOLVED" in boundary[(4, 1)]
+    assert "IMPOSSIBLE" in boundary[(6, 2)]
+    assert "SOLVED" in boundary[(7, 2)]
+
+
+@pytest.mark.parametrize("f", [1, 2])
+def test_eig_at_exactly_3f_plus_1(benchmark, f):
+    n = 3 * f + 1
+    g = complete_graph(n)
+
+    def once():
+        devices = dict(eig_devices(g, f))
+        nodes = list(g.nodes)
+        for i, node in enumerate(nodes[-f:]):
+            devices[node] = RandomLiarDevice(seed=i)
+        inputs = {u: i % 2 for i, u in enumerate(nodes)}
+        behavior = run(make_system(g, devices, inputs), f + 1)
+        return SPEC.check(inputs, behavior.decisions(), nodes[: n - f])
+
+    verdict = benchmark(once)
+    assert verdict.ok
+
+
+def test_phase_king_at_4f_plus_1(benchmark):
+    f = 1
+    g = complete_graph(4 * f + 1)
+
+    def once():
+        devices = dict(phase_king_devices(g, f))
+        devices["n4"] = RandomLiarDevice(seed=5)
+        inputs = {u: i % 2 for i, u in enumerate(g.nodes)}
+        behavior = run(make_system(g, devices, inputs), 2 * (f + 1))
+        return SPEC.check(
+            inputs, behavior.decisions(), [f"n{i}" for i in range(4)]
+        )
+
+    verdict = benchmark(once)
+    assert verdict.ok

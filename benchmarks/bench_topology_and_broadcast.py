@@ -1,0 +1,131 @@
+"""TOPO — topology design and broadcast substrates.
+
+Practical corollaries of the bounds:
+
+* Harary graphs `H_{2f+1, n}` are the minimum-wiring adequate
+  topologies; EIG-over-relay reaches agreement on them while the
+  engine refutes one notch below.
+* Bracha reliable broadcast realizes the 3f+1 threshold through quorum
+  intersection rather than information gathering.
+"""
+
+import math
+
+import pytest
+from conftest import report
+
+from repro.analysis import format_table
+from repro.core import refute_connectivity
+from repro.graphs import (
+    cheapest_adequate_graph,
+    harary_graph,
+    node_connectivity,
+)
+from repro.problems import ByzantineAgreementSpec
+from repro.protocols import (
+    MajorityVoteDevice,
+    reliable_broadcast_devices,
+    sparse_agreement_devices,
+)
+from repro.runtime.sync import RandomLiarDevice, ReplayDevice, make_system, run
+
+SPEC = ByzantineAgreementSpec()
+
+
+def test_harary_price_list(benchmark):
+    def build():
+        rows = []
+        for f in (1, 2, 3):
+            n = 3 * f + 1
+            g = cheapest_adequate_graph(n, f)
+            rows.append(
+                (
+                    f,
+                    n,
+                    node_connectivity(g),
+                    len(g.undirected_edges),
+                    math.ceil((2 * f + 1) * n / 2),
+                )
+            )
+        return rows
+
+    rows = benchmark(build)
+    report(
+        "TOPO: minimum wiring for adequacy",
+        format_table(
+            ("f", "n", "κ achieved", "links", "theoretical min"), rows
+        ),
+    )
+    for _f, _n, kappa, links, optimal in rows:
+        assert links == optimal
+        assert kappa >= 2 * _f + 1
+
+
+def test_agreement_on_cheapest_topology(benchmark):
+    g = cheapest_adequate_graph(7, 1)
+
+    def once():
+        devices, rounds = sparse_agreement_devices(g, 1)
+        devices = dict(devices)
+        devices[g.nodes[-1]] = RandomLiarDevice(7)
+        inputs = {u: i % 2 for i, u in enumerate(g.nodes)}
+        behavior = run(make_system(g, devices, inputs), rounds)
+        correct = list(g.nodes[:-1])
+        return SPEC.check(inputs, behavior.decisions(), correct)
+
+    verdict = benchmark(once)
+    assert verdict.ok
+
+
+def test_one_notch_below_is_refuted(benchmark):
+    g = harary_graph(2, 7)  # κ = 2 < 3 = 2f+1
+    devices = {u: MajorityVoteDevice() for u in g.nodes}
+    witness = benchmark(
+        lambda: refute_connectivity(g, devices, 1, rounds=4)
+    )
+    assert witness.found
+
+
+@pytest.mark.parametrize("n,f", [(4, 1), (7, 2)])
+def test_reliable_broadcast_at_threshold(benchmark, n, f):
+    from repro.graphs import complete_graph
+
+    g = complete_graph(n)
+
+    def once():
+        devices, rounds = reliable_broadcast_devices(g, "n0", f)
+        devices = dict(devices)
+        for i in range(f):
+            devices[f"n{n - 1 - i}"] = RandomLiarDevice(i)
+        inputs = {u: ("V" if u == "n0" else None) for u in g.nodes}
+        behavior = run(make_system(g, devices, inputs), rounds)
+        return [
+            behavior.decision(f"n{i}") for i in range(n - f)
+        ]
+
+    accepted = benchmark(once)
+    assert set(accepted) == {"V"}
+
+
+def test_equivocating_sender_consistency(benchmark):
+    from repro.graphs import complete_graph
+
+    g = complete_graph(4)
+
+    def once():
+        devices, rounds = reliable_broadcast_devices(g, "n0", 1)
+        devices = dict(devices)
+        devices["n0"] = ReplayDevice(
+            {
+                "n1": [("SEND", "X")],
+                "n2": [("SEND", "Y")],
+                "n3": [("SEND", "X")],
+            }
+        )
+        inputs = {u: None for u in g.nodes}
+        behavior = run(make_system(g, devices, inputs), rounds)
+        return [behavior.decision(f"n{i}") for i in (1, 2, 3)]
+
+    accepted = benchmark(once)
+    non_null = {v for v in accepted if v is not None}
+    assert len(non_null) <= 1

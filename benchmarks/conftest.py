@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's constructions (its
+"tables and figures" are its theorems and covering diagrams), asserts
+the qualitative shape — who wins, where the threshold falls — and
+times the engine or protocol run via pytest-benchmark.
+"""
+
+import pytest
+
+from repro.graphs import triangle
+
+
+@pytest.fixture
+def triangle_graph():
+    return triangle()
+
+
+def report(title: str, body: str) -> None:
+    """Print a benchmark report block (visible with ``pytest -s``)."""
+    print()
+    print("#" * 72)
+    print(f"# {title}")
+    print("#" * 72)
+    print(body)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Development install with an offline fallback.
+
+Tries ``pip install -e .`` first; if the environment cannot build
+editable installs (e.g. no network and no ``wheel`` package), falls
+back to dropping a ``.pth`` file into site-packages pointing at
+``src/`` — functionally equivalent for a pure-Python package.
+"""
+
+import pathlib
+import site
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def main() -> int:
+    result = subprocess.run(
+        [sys.executable, "-m", "pip", "install", "-e", str(ROOT), "-q"],
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode == 0:
+        print("installed editable via pip")
+        return 0
+    site_dir = pathlib.Path(site.getsitepackages()[0])
+    pth = site_dir / "repro-dev.pth"
+    pth.write_text(str(ROOT / "src") + "\n")
+    print(
+        f"pip editable install unavailable ({result.stderr.strip().splitlines()[-1] if result.stderr else 'unknown error'});\n"
+        f"fell back to {pth}"
+    )
+    check = subprocess.run(
+        [sys.executable, "-c", "import repro; print(repro.__version__)"],
+        capture_output=True,
+        text=True,
+    )
+    if check.returncode == 0:
+        print(f"repro {check.stdout.strip()} importable")
+        return 0
+    print(check.stderr, file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Sweeps, tables and figure renderings for the benchmark harness."""
+
+from .diagrams import (
+    diamond_figure,
+    eight_ring_figure,
+    hexagon_figure,
+    ring_figure,
+    triangle_figure,
+    witness_chain_figure,
+)
+from .sweep import (
+    SWEEP_HEADERS,
+    SweepRow,
+    connectivity_sweep,
+    node_bound_sweep,
+)
+from .adversary_search import SearchResult, search_agreement_attacks
+from .convergence import (
+    ConvergenceCurve,
+    measure_convergence,
+    theoretical_dlpsw_factor,
+)
+from .report import ReportLine, full_report, render_report
+from .witness_io import save_witness, witness_to_dict
+from .metrics import COMPARE_HEADERS, RunMetrics, compare, measure
+from .tables import format_table
+from .traces import (
+    render_fire_times,
+    render_sync_decisions,
+    render_sync_messages,
+    render_timed_events,
+)
+
+__all__ = [
+    "SWEEP_HEADERS",
+    "SweepRow",
+    "connectivity_sweep",
+    "diamond_figure",
+    "eight_ring_figure",
+    "COMPARE_HEADERS",
+    "RunMetrics",
+    "ConvergenceCurve",
+    "ReportLine",
+    "measure_convergence",
+    "theoretical_dlpsw_factor",
+    "SearchResult",
+    "full_report",
+    "render_report",
+    "save_witness",
+    "witness_to_dict",
+    "compare",
+    "format_table",
+    "measure",
+    "render_fire_times",
+    "render_sync_decisions",
+    "render_sync_messages",
+    "render_timed_events",
+    "search_agreement_attacks",
+    "hexagon_figure",
+    "node_bound_sweep",
+    "ring_figure",
+    "triangle_figure",
+    "witness_chain_figure",
+]

@@ -1,0 +1,90 @@
+"""ASCII renderings of the paper's figures.
+
+The figures in FLM 1985 are its covering-graph diagrams; these
+functions regenerate them (with device/input annotations) so the
+benchmark reports can show the construction being executed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..graphs.coverings import CoveringMap
+from ..graphs.graph import NodeId
+
+
+def triangle_figure() -> str:
+    """Section 3.1's base graph: the fully connected triangle."""
+    return "\n".join(
+        [
+            "      A",
+            "     / \\",
+            "    B---C",
+        ]
+    )
+
+
+def hexagon_figure(inputs: Mapping[str, object] | None = None) -> str:
+    """Section 3.1's covering graph S (two copies of each device)."""
+    inputs = inputs or {"u": 0, "v": 0, "w": 0, "x": 1, "y": 1, "z": 1}
+    return "\n".join(
+        [
+            f"      u:A({inputs['u']}) --- v:B({inputs['v']})",
+            "     /                    \\",
+            f" z:C({inputs['z']})                w:C({inputs['w']})",
+            "     \\                    /",
+            f"      y:B({inputs['y']}) --- x:A({inputs['x']})",
+        ]
+    )
+
+
+def diamond_figure() -> str:
+    """Section 3.2's base graph of connectivity two."""
+    return "\n".join(
+        [
+            "      B",
+            "     / \\",
+            "    A   C      (removing {B, D} disconnects A from C)",
+            "     \\ /",
+            "      D",
+        ]
+    )
+
+
+def eight_ring_figure() -> str:
+    """Section 3.2's covering: two copies of the diamond, A-D edges
+    crossed, forming one eight-cycle."""
+    return "\n".join(
+        [
+            "    A(0)---B(0)       copy 0: inputs 0",
+            "    /         \\",
+            " D(1)          C(0)",
+            "    \\          |",
+            "    C(1)       D(0)",
+            "      \\       /",
+            "    B(1)---A(1)       copy 1: inputs 1",
+        ]
+    )
+
+
+def ring_figure(covering: CoveringMap, inputs: Mapping[NodeId, object]) -> str:
+    """The 4k-ring of Sections 4/5 or the (k+2)-ring of Sections 6/7,
+    rendered as the paper prints it: a line of device letters with
+    inputs beneath."""
+    nodes = covering.cover.nodes
+    letters = [str(covering(u))[:1].upper() for u in nodes]
+    values = [str(inputs.get(u, "")) for u in nodes]
+    width = max(len(v) for v in values) if values else 1
+    top = " - ".join(letter.center(width) for letter in letters)
+    bottom = "   ".join(v.center(width) for v in values)
+    return f"(ring) {top} (wraps)\n       {bottom}"
+
+
+def witness_chain_figure(labels: list[str], shared: list[str]) -> str:
+    """The chain E1 ~ E2 ~ ... with the shared correct nodes marked."""
+    parts = []
+    for i, label in enumerate(labels):
+        parts.append(label)
+        if i < len(shared):
+            parts.append(f"--[{shared[i]}]--")
+    return " ".join(parts)

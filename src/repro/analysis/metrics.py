@@ -1,0 +1,87 @@
+"""Execution metrics: message counts, traffic volume, decision rounds.
+
+The classical cost story behind the paper's bounds: EIG is optimally
+resilient (``n = 3f + 1``) but exchanges messages exponential in
+``f``; phase king is polynomial but needs ``n > 4f``; relaying over
+disjoint paths multiplies traffic by ``2f + 1``.  These helpers
+measure all of that from recorded behaviors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs.graph import NodeId
+from ..runtime.sync.behavior import SyncBehavior
+
+
+def _payload_size(message) -> int:
+    """A crude, deterministic size measure (characters of repr)."""
+    return len(repr(message))
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Aggregate cost of one synchronous run."""
+
+    rounds: int
+    messages: int
+    traffic: int  # sum of payload sizes
+    max_message: int
+    decision_rounds: dict[NodeId, int | None]
+
+    @property
+    def last_decision_round(self) -> int | None:
+        values = [r for r in self.decision_rounds.values() if r is not None]
+        return max(values) if values else None
+
+
+def measure(behavior: SyncBehavior) -> RunMetrics:
+    """Message/traffic metrics of a recorded behavior (``None``
+    payloads are silence, not messages)."""
+    messages = 0
+    traffic = 0
+    max_message = 0
+    for edge_behavior in behavior.edge_behaviors.values():
+        for message in edge_behavior.messages:
+            if message is None:
+                continue
+            messages += 1
+            size = _payload_size(message)
+            traffic += size
+            max_message = max(max_message, size)
+    return RunMetrics(
+        rounds=behavior.rounds,
+        messages=messages,
+        traffic=traffic,
+        max_message=max_message,
+        decision_rounds={
+            u: nb.decided_at for u, nb in behavior.node_behaviors.items()
+        },
+    )
+
+
+def compare(metrics: dict[str, RunMetrics]) -> list[tuple]:
+    """Rows (label, rounds, messages, traffic, max message, decided-by)
+    for :func:`repro.analysis.tables.format_table`."""
+    return [
+        (
+            label,
+            m.rounds,
+            m.messages,
+            m.traffic,
+            m.max_message,
+            m.last_decision_round,
+        )
+        for label, m in metrics.items()
+    ]
+
+
+COMPARE_HEADERS = (
+    "protocol",
+    "rounds",
+    "messages",
+    "traffic (chars)",
+    "max msg",
+    "decided by round",
+)

@@ -1,0 +1,176 @@
+"""The master report: run every theorem's engine once and tabulate.
+
+``python -m repro report`` executes all eleven results (five theorems,
+two bounds each where applicable, plus the corollaries) against their
+default candidate devices and prints one line per result — the whole
+paper, reproduced in one command.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..core import (
+    SynchronizationSetting,
+    corollary_12_linear_envelope,
+    corollary_13_diverging_linear,
+    corollary_14_offset_clocks,
+    corollary_15_logarithmic,
+    refute_clock_sync,
+    refute_clock_sync_connectivity,
+    refute_connectivity,
+    refute_epsilon_delta,
+    refute_epsilon_delta_connectivity,
+    refute_firing_squad,
+    refute_firing_squad_connectivity,
+    refute_node_bound,
+    refute_simple_connectivity,
+    refute_simple_node_bound,
+    refute_weak_agreement,
+    refute_weak_agreement_connectivity,
+)
+from ..graphs import diamond, triangle
+from ..protocols import (
+    ExchangeOnceWeakDevice,
+    LowerEnvelopeClockDevice,
+    MajorityVoteDevice,
+    MedianDevice,
+    MidpointDevice,
+    RelayFireDevice,
+)
+from ..runtime.timed import LinearClock
+from .tables import format_table
+
+_LOWER = LinearClock(1.0, 0.0)
+
+
+def _clock_setting() -> SynchronizationSetting:
+    return SynchronizationSetting(
+        p=LinearClock(1.0, 0.0),
+        q=LinearClock(1.2, 0.0),
+        lower=_LOWER,
+        upper=LinearClock(1.0, 2.0),
+        alpha=0.1,
+        t_prime=1.0,
+    )
+
+
+@dataclass(frozen=True)
+class ReportLine:
+    result: str
+    construction: str
+    verdict: str
+
+
+def _summarize(witness) -> str:
+    broken = witness.violated
+    if not broken:
+        return "NO WITNESS (unexpected!)"
+    conditions = sorted(
+        {v.condition for c in broken for v in c.verdict.violations}
+    )
+    return (
+        f"witness: {len(broken)}/{len(witness.checked)} behaviors violate "
+        f"{'/'.join(conditions)}"
+    )
+
+
+def _entries() -> list[tuple[str, str, Callable[[], object]]]:
+    tri = triangle()
+    dia = diamond()
+    majority = {u: MajorityVoteDevice() for u in tri.nodes}
+    majority_dia = {u: MajorityVoteDevice() for u in dia.nodes}
+    midpoint = {u: MidpointDevice() for u in tri.nodes}
+    midpoint_dia = {u: MidpointDevice() for u in dia.nodes}
+    median = {u: MedianDevice() for u in tri.nodes}
+    median_dia = {u: MedianDevice() for u in dia.nodes}
+    weak_fac = {
+        u: (lambda: ExchangeOnceWeakDevice(decide_at=2.0)) for u in tri.nodes
+    }
+    weak_fac_dia = {
+        u: (lambda: ExchangeOnceWeakDevice(decide_at=2.0)) for u in dia.nodes
+    }
+    fire_fac = {u: (lambda: RelayFireDevice(fire_at=2.5)) for u in tri.nodes}
+    fire_fac_dia = {
+        u: (lambda: RelayFireDevice(fire_at=3.5)) for u in dia.nodes
+    }
+    clock_fac = {
+        u: (lambda: LowerEnvelopeClockDevice(_LOWER)) for u in tri.nodes
+    }
+    clock_fac_dia = {
+        u: (lambda: LowerEnvelopeClockDevice(_LOWER)) for u in dia.nodes
+    }
+    setting = _clock_setting()
+    return [
+        ("Thm 1 (nodes)", "hexagon cover of the triangle",
+         lambda: refute_node_bound(tri, majority, 1, 3)),
+        ("Thm 1 (connectivity)", "8-ring cover of the diamond",
+         lambda: refute_connectivity(dia, majority_dia, 1, 4)),
+        ("Thm 2 (nodes)", "4k-ring, Bounded-Delay Locality",
+         lambda: refute_weak_agreement(weak_fac, 1.0, 3.0)),
+        ("Thm 2 (connectivity)", "cyclic cover of the diamond",
+         lambda: refute_weak_agreement_connectivity(
+             dia, weak_fac_dia, 1, 1.0, 3.0)),
+        ("Thm 4 (nodes)", "4k-ring, FIRE wave",
+         lambda: refute_firing_squad(fire_fac, 1.0, 3.0)),
+        ("Thm 4 (connectivity)", "cyclic cover of the diamond",
+         lambda: refute_firing_squad_connectivity(
+             dia, fire_fac_dia, 1, 1.0, 4.0)),
+        ("Thm 5 (nodes)", "hexagon cover, real inputs",
+         lambda: refute_simple_node_bound(tri, midpoint, 1, 3)),
+        ("Thm 5 (connectivity)", "8-ring cover, real inputs",
+         lambda: refute_simple_connectivity(dia, midpoint_dia, 1, 4)),
+        ("Thm 6 (nodes)", "(k+2)-ring, Lemma 7 drift",
+         lambda: refute_epsilon_delta(median, 0.25, 1.0, 1.0, 3)),
+        ("Thm 6 (connectivity)", "cyclic (k+2)-fold cover (ε < δ/2)",
+         lambda: refute_epsilon_delta_connectivity(
+             dia, median_dia, 1, 0.25, 1.0, 1.0, 3)),
+        ("Thm 8 (nodes)", "ring of clocks q·h⁻ⁱ, Lemmas 9–11",
+         lambda: refute_clock_sync(clock_fac, setting)),
+        ("Thm 8 (connectivity)", "cyclic cover of clocked diamonds",
+         lambda: refute_clock_sync_connectivity(
+             dia, clock_fac_dia, 1, setting)),
+        ("Cor 12", "linear envelopes",
+         lambda: corollary_12_linear_envelope(clock_fac).witness),
+        ("Cor 13", "p=t, q=rt, l=at+b",
+         lambda: corollary_13_diverging_linear(clock_fac).witness),
+        ("Cor 14", "p=t, q=t+c, l=at+b",
+         lambda: corollary_14_offset_clocks(clock_fac).witness),
+        ("Cor 15", "p=t, q=rt, l=log₂", _corollary_15),
+    ]
+
+
+def _corollary_15():
+    from ..core.corollaries import Log2Envelope
+
+    log_lower = Log2Envelope(shift=1.0)
+    factories = {
+        u: (lambda: LowerEnvelopeClockDevice(log_lower))
+        for u in triangle().nodes
+    }
+    return corollary_15_logarithmic(factories).witness
+
+
+def full_report() -> list[ReportLine]:
+    """Run every engine; return one line per paper result."""
+    lines = []
+    for result, construction, runner in _entries():
+        witness = runner()
+        lines.append(
+            ReportLine(
+                result=result,
+                construction=construction,
+                verdict=_summarize(witness),
+            )
+        )
+    return lines
+
+
+def render_report(lines: list[ReportLine] | None = None) -> str:
+    lines = lines if lines is not None else full_report()
+    return format_table(
+        ("result", "construction", "engine verdict"),
+        [(line.result, line.construction, line.verdict) for line in lines],
+        "FLM 1985, reproduced: every impossibility executed",
+    )

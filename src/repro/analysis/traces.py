@@ -1,0 +1,117 @@
+"""Human-readable renderings of recorded behaviors.
+
+Witnesses are only convincing if you can *read* the counterexample;
+these renderers print synchronous behaviors round by round and timed
+behaviors as event timelines, in plain text.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..graphs.graph import NodeId
+from ..runtime.sync.behavior import SyncBehavior
+from ..runtime.timed.behavior import TimedBehavior
+from .tables import format_table
+
+
+def _short(value, width: int = 28) -> str:
+    text = repr(value)
+    return text if len(text) <= width else text[: width - 1] + "…"
+
+
+def render_sync_messages(
+    behavior: SyncBehavior, nodes: Iterable[NodeId] | None = None
+) -> str:
+    """One row per directed edge, one column per round."""
+    keep = set(nodes) if nodes is not None else set(behavior.graph.nodes)
+    rows = []
+    for (u, v), edge_behavior in sorted(
+        behavior.edge_behaviors.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
+    ):
+        if u not in keep or v not in keep:
+            continue
+        rows.append(
+            (f"{u} → {v}", *(_short(m, 18) for m in edge_behavior.messages))
+        )
+    headers = ("edge", *(f"r{r}" for r in range(behavior.rounds)))
+    return format_table(headers, rows, "messages per round")
+
+
+def render_sync_decisions(behavior: SyncBehavior) -> str:
+    """One row per node: decision and the round it appeared."""
+    rows = [
+        (str(u), _short(nb.decision), nb.decided_at)
+        for u, nb in sorted(
+            behavior.node_behaviors.items(), key=lambda kv: str(kv[0])
+        )
+    ]
+    return format_table(("node", "decision", "round"), rows, "decisions")
+
+
+def render_timed_events(
+    behavior: TimedBehavior,
+    nodes: Iterable[NodeId] | None = None,
+    through: float | None = None,
+) -> str:
+    """A merged, time-ordered event log across the chosen nodes."""
+    keep = (
+        list(nodes) if nodes is not None else list(behavior.graph.nodes)
+    )
+    horizon = through if through is not None else behavior.horizon
+    entries = []
+    for u in keep:
+        for event in behavior.node(u).events:
+            if event.time <= horizon + 1e-12:
+                entries.append((event.time, str(u), event.kind,
+                                _short(event.payload)))
+    entries.sort(key=lambda e: (e[0], e[1]))
+    return format_table(
+        ("time", "node", "event", "payload"),
+        [(f"{t:.4g}", u, kind, payload) for t, u, kind, payload in entries],
+        "event timeline",
+    )
+
+
+def explain_witness(witness, max_behaviors: int = 2) -> str:
+    """A long-form account of an impossibility witness: the summary
+    chain plus full message/decision traces of the violated behaviors
+    (synchronous engines only; timed witnesses carry event traces which
+    :func:`render_timed_events` prints from
+    ``checked.constructed.behavior``)."""
+    parts = [witness.describe()]
+    shown = 0
+    for checked in witness.violated:
+        if shown >= max_behaviors:
+            parts.append(
+                f"... ({len(witness.violated) - shown} more violated "
+                "behaviors omitted)"
+            )
+            break
+        constructed = checked.constructed
+        behavior = getattr(constructed, "behavior", None)
+        if isinstance(behavior, SyncBehavior):
+            parts.append("")
+            parts.append(
+                f"--- {checked.label}: full trace of the violating "
+                "correct behavior ---"
+            )
+            parts.append(render_sync_messages(behavior))
+            parts.append(render_sync_decisions(behavior))
+            shown += 1
+        elif isinstance(behavior, TimedBehavior):
+            parts.append("")
+            parts.append(f"--- {checked.label}: event timeline ---")
+            parts.append(render_timed_events(behavior))
+            shown += 1
+    return "\n".join(parts)
+
+
+def render_fire_times(behavior: TimedBehavior) -> str:
+    rows = [
+        (str(u), t if t is not None else "never")
+        for u, t in sorted(
+            behavior.fire_times().items(), key=lambda kv: str(kv[0])
+        )
+    ]
+    return format_table(("node", "fire time"), rows, "FIRE states")

@@ -1,0 +1,107 @@
+"""Witness serialization: dump an impossibility witness to a JSON-safe
+structure (and to disk) for external tooling, dashboards, or archives.
+
+Full behaviors are large; the serialization keeps the argument's
+skeleton — per-behavior correct/faulty sets, verdicts, decisions, and
+chain links — plus engine extras, and can optionally inline the
+violated behaviors' message traces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..core.witness import ImpossibilityWitness
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to JSON-safe values."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def witness_to_dict(
+    witness: ImpossibilityWitness, include_traces: bool = False
+) -> dict[str, Any]:
+    """A JSON-safe summary of a witness."""
+    behaviors = []
+    for checked in witness.checked:
+        constructed = checked.constructed
+        entry: dict[str, Any] = {
+            "label": checked.label,
+            "correct": sorted(map(str, constructed.correct_nodes)),
+            "faulty": sorted(map(str, constructed.faulty_nodes)),
+            "ok": checked.verdict.ok,
+            "violations": [
+                {
+                    "condition": v.condition,
+                    "detail": v.detail,
+                    "nodes": sorted(map(str, v.nodes)),
+                }
+                for v in checked.verdict.violations
+            ],
+        }
+        decisions = getattr(constructed, "decisions", None)
+        if callable(decisions):
+            entry["decisions"] = _jsonable(decisions())
+        inputs = getattr(constructed, "inputs", None)
+        if inputs is not None:
+            entry["inputs"] = _jsonable(dict(inputs))
+        if include_traces and not checked.verdict.ok:
+            behavior = getattr(constructed, "behavior", None)
+            edge_behaviors = getattr(behavior, "edge_behaviors", None)
+            if edge_behaviors:
+                entry["message_traces"] = {
+                    f"{u}->{v}": _jsonable(
+                        getattr(eb, "messages", getattr(eb, "sends", ()))
+                    )
+                    for (u, v), eb in edge_behaviors.items()
+                }
+        behaviors.append(entry)
+    return {
+        "problem": witness.problem,
+        "bound": witness.bound,
+        "graph": {
+            "nodes": sorted(map(str, witness.graph.nodes)),
+            "edges": sorted(
+                f"{min(str(u), str(v))}-{max(str(u), str(v))}"
+                for (u, v) in witness.graph.edges
+            ),
+        },
+        "max_faults": witness.max_faults,
+        "found": witness.found,
+        "behaviors": behaviors,
+        "links": [
+            {
+                "node": str(link.node),
+                "covering_node": str(link.covering_node),
+                "between": [link.first, link.second],
+            }
+            for link in witness.links
+        ],
+        "extra": _jsonable(witness.extra),
+    }
+
+
+def save_witness(
+    witness: ImpossibilityWitness,
+    path: str | Path,
+    include_traces: bool = False,
+) -> Path:
+    """Write the witness summary as JSON; return the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(
+            witness_to_dict(witness, include_traces=include_traces),
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    return path

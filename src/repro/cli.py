@@ -1,0 +1,275 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples
+--------
+::
+
+    python -m repro classify --graph triangle --faults 1
+    python -m repro refute byzantine --graph triangle --faults 1
+    python -m repro refute connectivity --graph diamond --faults 1
+    python -m repro refute weak --delta 1.0
+    python -m repro refute firing --delta 1.0
+    python -m repro refute eps-delta --epsilon 0.25 --delta-input 1.0
+    python -m repro refute clock --alpha 0.1
+    python -m repro sweep nodes --faults 1 2
+    python -m repro sweep connectivity --faults 1
+    python -m repro demo eig --graph complete:7 --faults 2
+    python -m repro demo sparse --graph circulant:7:1,2 --faults 1
+
+Graph specs: ``triangle``, ``diamond``, ``complete:N``, ``ring:N``,
+``wheel:N``, ``star:N``, ``circulant:N:o1,o2,...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .analysis import SWEEP_HEADERS, connectivity_sweep, format_table, node_bound_sweep
+from .core import (
+    SynchronizationSetting,
+    refute_connectivity,
+    refute_epsilon_delta,
+    refute_firing_squad,
+    refute_node_bound,
+    refute_weak_agreement,
+    refute_clock_sync,
+)
+from .graphs import (
+    CommunicationGraph,
+    GraphError,
+    circulant,
+    classify,
+    complete_graph,
+    diamond,
+    ring,
+    star,
+    triangle,
+    wheel,
+)
+from .problems import ByzantineAgreementSpec
+from .protocols import (
+    ExchangeOnceWeakDevice,
+    LowerEnvelopeClockDevice,
+    MajorityVoteDevice,
+    MedianDevice,
+    RelayFireDevice,
+    eig_devices,
+    sparse_agreement_devices,
+)
+from .runtime.sync import RandomLiarDevice
+from .runtime.sync import make_system, run
+from .runtime.timed import LinearClock
+
+
+def parse_graph(spec: str) -> CommunicationGraph:
+    """Parse a graph spec like ``triangle`` or ``circulant:7:1,2``."""
+    parts = spec.split(":")
+    name = parts[0]
+    try:
+        if name == "triangle":
+            return triangle()
+        if name == "diamond":
+            return diamond()
+        if name == "complete":
+            return complete_graph(int(parts[1]))
+        if name == "ring":
+            return ring(int(parts[1]))
+        if name == "wheel":
+            return wheel(int(parts[1]))
+        if name == "star":
+            return star(int(parts[1]))
+        if name == "circulant":
+            offsets = [int(o) for o in parts[2].split(",")]
+            return circulant(int(parts[1]), offsets)
+    except (IndexError, ValueError) as exc:
+        raise GraphError(f"malformed graph spec {spec!r}: {exc}") from exc
+    raise GraphError(f"unknown graph family {name!r}")
+
+
+def _cmd_classify(args) -> int:
+    graph = parse_graph(args.graph)
+    print(classify(graph, args.faults).describe())
+    return 0
+
+
+def _cmd_refute(args) -> int:
+    if args.problem == "byzantine":
+        graph = parse_graph(args.graph)
+        devices = {u: MajorityVoteDevice() for u in graph.nodes}
+        witness = refute_node_bound(graph, devices, args.faults, args.rounds)
+    elif args.problem == "connectivity":
+        graph = parse_graph(args.graph)
+        devices = {u: MajorityVoteDevice() for u in graph.nodes}
+        witness = refute_connectivity(graph, devices, args.faults, args.rounds)
+    elif args.problem == "weak":
+        factories = {
+            u: (lambda: ExchangeOnceWeakDevice(decide_at=2 * args.delta))
+            for u in triangle().nodes
+        }
+        witness = refute_weak_agreement(
+            factories, delta=args.delta, decision_deadline=3 * args.delta
+        )
+    elif args.problem == "firing":
+        factories = {
+            u: (lambda: RelayFireDevice(fire_at=2.5 * args.delta))
+            for u in triangle().nodes
+        }
+        witness = refute_firing_squad(
+            factories, delta=args.delta, fire_deadline=3 * args.delta
+        )
+    elif args.problem == "eps-delta":
+        devices = {u: MedianDevice() for u in triangle().nodes}
+        witness = refute_epsilon_delta(
+            devices,
+            epsilon=args.epsilon,
+            delta=args.delta_input,
+            gamma=args.gamma,
+            rounds=args.rounds,
+        )
+    elif args.problem == "clock":
+        lower = LinearClock(1.0, 0.0)
+        setting = SynchronizationSetting(
+            p=LinearClock(1.0, 0.0),
+            q=LinearClock(args.rate, 0.0),
+            lower=lower,
+            upper=LinearClock(1.0, args.envelope_gap),
+            alpha=args.alpha,
+            t_prime=1.0,
+        )
+        factories = {
+            u: (lambda: LowerEnvelopeClockDevice(lower))
+            for u in triangle().nodes
+        }
+        witness = refute_clock_sync(factories, setting)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.problem)
+    if getattr(args, "json", None):
+        from .analysis.witness_io import save_witness
+
+        path = save_witness(witness, args.json)
+        print(f"witness written to {path}")
+    if getattr(args, "verbose", False):
+        from .analysis.traces import explain_witness
+
+        print(explain_witness(witness))
+    else:
+        print(witness.describe())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    if args.dimension == "nodes":
+        rows = node_bound_sweep(tuple(args.faults))
+        title = f"Theorem 1 node-bound sweep, f in {args.faults}"
+    else:
+        rows = connectivity_sweep(args.faults[0])
+        title = f"Connectivity sweep, f = {args.faults[0]}"
+    print(format_table(SWEEP_HEADERS, [r.as_tuple() for r in rows], title))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.report import render_report
+
+    print(render_report())
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    graph = parse_graph(args.graph)
+    f = args.faults
+    if args.protocol == "eig":
+        devices = dict(eig_devices(graph, f))
+        rounds = f + 1
+    else:
+        devices, rounds = sparse_agreement_devices(graph, f)
+        devices = dict(devices)
+    nodes = list(graph.nodes)
+    for i, node in enumerate(nodes[-f:]):
+        devices[node] = RandomLiarDevice(seed=i)
+    inputs = {u: i % 2 for i, u in enumerate(nodes)}
+    behavior = run(make_system(graph, devices, inputs), rounds)
+    correct = nodes[: len(nodes) - f]
+    verdict = ByzantineAgreementSpec().check(
+        inputs, behavior.decisions(), correct
+    )
+    print(f"graph: {graph!r}, f = {f}, {rounds} rounds")
+    print(f"inputs:    {inputs}")
+    print(f"decisions: { {u: behavior.decision(u) for u in correct} }")
+    print(f"spec:      {verdict.describe()}")
+    return 0 if verdict.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Executable reproduction of FLM 1985, 'Easy Impossibility "
+            "Proofs for Distributed Consensus Problems'"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="adequate or inadequate?")
+    p.add_argument("--graph", default="triangle")
+    p.add_argument("--faults", type=int, default=1)
+    p.set_defaults(func=_cmd_classify)
+
+    p = sub.add_parser("refute", help="run an impossibility engine")
+    p.add_argument(
+        "problem",
+        choices=[
+            "byzantine", "connectivity", "weak", "firing", "eps-delta",
+            "clock",
+        ],
+    )
+    p.add_argument("--graph", default="triangle")
+    p.add_argument("--faults", type=int, default=1)
+    p.add_argument("--rounds", type=int, default=3)
+    p.add_argument("--delta", type=float, default=1.0)
+    p.add_argument("--epsilon", type=float, default=0.25)
+    p.add_argument("--delta-input", type=float, default=1.0)
+    p.add_argument("--gamma", type=float, default=1.0)
+    p.add_argument("--alpha", type=float, default=0.1)
+    p.add_argument("--rate", type=float, default=1.2)
+    p.add_argument("--envelope-gap", type=float, default=2.0)
+    p.add_argument("--json", help="also write the witness to this JSON file")
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="print full traces of the violated behaviors",
+    )
+    p.set_defaults(func=_cmd_refute)
+
+    p = sub.add_parser("sweep", help="threshold sweeps")
+    p.add_argument("dimension", choices=["nodes", "connectivity"])
+    p.add_argument("--faults", type=int, nargs="+", default=[1])
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "report", help="run every theorem's engine and tabulate"
+    )
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("demo", help="run a positive protocol")
+    p.add_argument("protocol", choices=["eig", "sparse"])
+    p.add_argument("--graph", default="complete:4")
+    p.add_argument("--faults", type=int, default=1)
+    p.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except GraphError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""Executable checks of the paper's four axioms (Section 2, 4, 7).
+
+The impossibility engines are only as trustworthy as the operational
+models' claim to satisfy the axioms.  These functions put that claim
+under test for *specific systems*: each takes concrete devices and
+exercises the axiom's defining property, returning ``True`` (or
+raising with a precise account of the discrepancy).  The test suite
+runs them across device families; users can run them against their own
+devices before trusting a witness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from ..graphs.graph import NodeId
+from ..runtime.sync.adversary import ReplayDevice
+from ..runtime.sync.executor import run
+from ..runtime.sync.system import SyncSystem
+from ..runtime.timed.clocks import ClockFunction
+from ..runtime.timed.executor import run_timed
+from ..runtime.timed.system import TimedSystem
+
+
+class AxiomViolation(AssertionError):
+    """An operational model failed an axiom check — the engines'
+    conclusions would be unsound for these devices."""
+
+
+def check_locality_axiom(
+    system: SyncSystem, subsystem: tuple[NodeId, ...], rounds: int
+) -> bool:
+    """Locality: replacing everything *outside* a subsystem with a
+    replay of its recorded inedge border leaves the subsystem's
+    scenario identical.
+
+    This is precisely the move every covering argument makes; checking
+    it here for the user's own devices validates the machinery for
+    them.
+    """
+    behavior = run(system, rounds)
+    inside = set(subsystem)
+    replacements = {}
+    for w in system.graph.nodes:
+        if w in inside:
+            continue
+        scripts = {
+            system.port(w, g): behavior.edge(w, g)
+            for g in system.graph.neighbors(w)
+            if g in inside
+        }
+        replacements[w] = ReplayDevice(scripts)
+    replayed = run(system.with_devices(replacements), rounds)
+    original_scenario = behavior.scenario(subsystem)
+    replayed_scenario = replayed.scenario(subsystem)
+    if not original_scenario.core_equal(replayed_scenario):
+        raise AxiomViolation(
+            "Locality failed: identical inedge borders produced different "
+            f"scenarios on {sorted(map(str, subsystem))} — the devices are "
+            "not deterministic functions of their local view"
+        )
+    return True
+
+
+def check_fault_axiom(
+    system_one: SyncSystem,
+    system_two: SyncSystem,
+    node: NodeId,
+    rounds: int,
+) -> bool:
+    """Fault: a single device can exhibit, in one behavior, edge
+    behaviors recorded from *different* system behaviors.
+
+    Runs both systems, splits ``node``'s outedges between them, builds
+    ``F_A(E_1, ..., E_d)``, and verifies each outedge reproduces its
+    source behavior exactly.
+    """
+    behavior_one = run(system_one, rounds)
+    behavior_two = run(system_two, rounds)
+    neighbors = system_one.graph.neighbors(node)
+    if tuple(system_two.graph.neighbors(node)) != tuple(neighbors):
+        raise AxiomViolation(
+            "Fault check needs the node to have the same ports in both "
+            "systems"
+        )
+    scripts = {}
+    sources = {}
+    for index, neighbor in enumerate(neighbors):
+        source = behavior_one if index % 2 == 0 else behavior_two
+        scripts[system_one.port(node, neighbor)] = source.edge(node, neighbor)
+        sources[neighbor] = source
+    masquerade = run(
+        system_one.with_devices({node: ReplayDevice(scripts)}), rounds
+    )
+    for neighbor, source in sources.items():
+        if masquerade.edge(node, neighbor) != source.edge(node, neighbor):
+            raise AxiomViolation(
+                f"Fault failed: outedge ({node!r}, {neighbor!r}) did not "
+                "reproduce its recorded behavior"
+            )
+    return True
+
+
+def check_bounded_delay_locality(
+    build_system,
+    far_node: NodeId,
+    changed_node: NodeId,
+    distance: int,
+    delta: float,
+    horizon: float,
+    variations: tuple[Any, Any] = (0, 1),
+) -> bool:
+    """Bounded-Delay Locality: changing an input ``distance`` hops away
+    cannot affect a node's behavior before ``distance * delta``.
+
+    ``build_system(input_value)`` must return a timed system where
+    ``changed_node`` carries the given input.
+    """
+    first = run_timed(build_system(variations[0]), horizon)
+    second = run_timed(build_system(variations[1]), horizon)
+    boundary = distance * delta
+    probe = boundary - min(delta / 2, boundary / 2)
+    if not first.node(far_node).prefix_equal(
+        second.node(far_node), through=probe
+    ):
+        raise AxiomViolation(
+            f"Bounded-Delay Locality failed: {far_node!r} observed a "
+            f"change {distance} hops away before {boundary} time units"
+        )
+    return True
+
+
+def check_scaling_axiom(
+    system: TimedSystem,
+    h: ClockFunction,
+    horizon: float,
+    time_tolerance: float = 1e-9,
+) -> bool:
+    """Scaling: running ``Sh`` equals scaling the behavior of ``S``.
+
+    Requires clock-mode delays (real-time delays genuinely break the
+    axiom — the paper's own caveat)."""
+    base = run_timed(system, horizon)
+    scaled = run_timed(system.scaled(h), h.inverse()(horizon))
+    h_inv = h.inverse()
+    for u in system.graph.nodes:
+        base_events = [
+            e for e in base.node(u).events if e.time <= horizon + 1e-12
+        ]
+        scaled_events = list(scaled.node(u).events)
+        if len(base_events) != len(scaled_events):
+            raise AxiomViolation(
+                f"Scaling failed at {u!r}: event counts differ "
+                f"({len(base_events)} vs {len(scaled_events)})"
+            )
+        for a, b in zip(base_events, scaled_events):
+            if a.kind != b.kind or a.payload != b.payload:
+                raise AxiomViolation(
+                    f"Scaling failed at {u!r}: event content differs"
+                )
+            if abs(b.time - h_inv(a.time)) > time_tolerance:
+                raise AxiomViolation(
+                    f"Scaling failed at {u!r}: event at {a.time} mapped to "
+                    f"{b.time}, expected {h_inv(a.time)}"
+                )
+    return True
+
+
+def check_determinism_everywhere(
+    systems: Mapping[str, SyncSystem], rounds: int
+) -> bool:
+    """One behavior per system: re-run each and compare traces."""
+    from ..runtime.sync.executor import check_determinism
+
+    for label, system in systems.items():
+        if not check_determinism(system, rounds):
+            raise AxiomViolation(f"system {label!r} is nondeterministic")
+    return True

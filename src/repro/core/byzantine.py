@@ -1,0 +1,152 @@
+"""Theorem 1, executable: Byzantine agreement is impossible in
+inadequate graphs.
+
+:func:`refute_node_bound` runs the Section 3.1 argument (``n <= 3f``):
+partition the nodes into three classes of size at most ``f``, build the
+rewired double cover (the hexagon, for the triangle), run the candidate
+devices in it, and realize the three scenarios ``E1, E2, E3`` as
+correct behaviors of ``G``.  Validity pins ``E1`` to the 0-input value
+and ``E3`` to the 1-input value, while agreement and the shared correct
+behaviors force them to be equal — so, for any concrete devices, at
+least one of the three behaviors violates the spec, and the returned
+witness names it.
+
+:func:`refute_connectivity` runs the Section 3.2 argument
+(``c(G) <= 2f``) with the two-copies-crossed-at-the-cut covering (the
+eight-node ring, for the diamond).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from ..graphs.adequacy import required_connectivity, required_nodes
+from ..graphs.coverings import (
+    connectivity_double_cover,
+    cut_partition_for_connectivity,
+    node_bound_double_cover,
+    partition_for_node_bound,
+)
+from ..graphs.graph import CommunicationGraph, GraphError, NodeId
+from ..problems.byzantine import ByzantineAgreementSpec
+from ..runtime.sync.device import SyncDevice
+from ..runtime.sync.system import install_in_covering
+from .covering_argument import (
+    ChainResult,
+    connectivity_scenarios,
+    node_bound_scenarios,
+    run_scenario_chain,
+)
+from .witness import CheckedBehavior, ImpossibilityWitness
+
+_SPEC = ByzantineAgreementSpec()
+
+
+def refute_node_bound(
+    graph: CommunicationGraph,
+    devices: Mapping[NodeId, SyncDevice],
+    max_faults: int,
+    rounds: int,
+    inputs: tuple[Any, Any] = (0, 1),
+    require_violation: bool = True,
+) -> ImpossibilityWitness:
+    """Refute claimed agreement devices on a graph with ``n <= 3f``.
+
+    Parameters
+    ----------
+    graph:
+        The inadequate communication graph ``G``.
+    devices:
+        One claimed agreement device per node of ``G``.
+    max_faults:
+        The fault budget ``f``; must satisfy ``len(graph) <= 3f``.
+    rounds:
+        Horizon: an upper bound on the devices' decision time.
+    inputs:
+        The two input values assigned to the two sheets of the cover.
+    """
+    if len(graph) >= required_nodes(max_faults):
+        raise GraphError(
+            f"graph has {len(graph)} >= 3f+1 = {required_nodes(max_faults)} "
+            "nodes; the node-bound argument does not apply"
+        )
+    part_a, part_b, part_c = partition_for_node_bound(graph, max_faults)
+    dc = node_bound_double_cover(graph, part_a, part_b, part_c)
+    value0, value1 = inputs
+    cover_inputs = {dc.copy_of(v, 0): value0 for v in graph.nodes}
+    cover_inputs.update({dc.copy_of(v, 1): value1 for v in graph.nodes})
+    cover_system = install_in_covering(dc.covering, devices, cover_inputs)
+    chain = run_scenario_chain(
+        dc.covering,
+        cover_system,
+        devices,
+        node_bound_scenarios(dc, part_a, part_b, part_c),
+        rounds,
+    )
+    return _witness(
+        "byzantine-agreement", "3f+1 nodes", graph, max_faults, chain,
+        require_violation,
+    )
+
+
+def refute_connectivity(
+    graph: CommunicationGraph,
+    devices: Mapping[NodeId, SyncDevice],
+    max_faults: int,
+    rounds: int,
+    inputs: tuple[Any, Any] = (0, 1),
+    require_violation: bool = True,
+) -> ImpossibilityWitness:
+    """Refute claimed agreement devices on a graph with ``c(G) <= 2f``."""
+    side_a, cut_b, side_c, cut_d = cut_partition_for_connectivity(
+        graph, max_faults
+    )
+    dc = connectivity_double_cover(graph, cut_b, cut_d, side_a, side_c)
+    value0, value1 = inputs
+    cover_inputs = {dc.copy_of(v, 0): value0 for v in graph.nodes}
+    cover_inputs.update({dc.copy_of(v, 1): value1 for v in graph.nodes})
+    cover_system = install_in_covering(dc.covering, devices, cover_inputs)
+    chain = run_scenario_chain(
+        dc.covering,
+        cover_system,
+        devices,
+        connectivity_scenarios(dc, side_a, cut_b, side_c, cut_d),
+        rounds,
+    )
+    return _witness(
+        "byzantine-agreement",
+        f"2f+1 connectivity (κ < {required_connectivity(max_faults)})",
+        graph,
+        max_faults,
+        chain,
+        require_violation,
+    )
+
+
+def _witness(
+    problem: str,
+    bound: str,
+    graph: CommunicationGraph,
+    max_faults: int,
+    chain: ChainResult,
+    require_violation: bool,
+) -> ImpossibilityWitness:
+    checked = tuple(
+        CheckedBehavior(
+            constructed=c,
+            verdict=_SPEC.check(c.inputs, c.decisions(), c.correct_nodes),
+        )
+        for c in chain.constructed
+    )
+    witness = ImpossibilityWitness(
+        problem=problem,
+        bound=bound,
+        graph=graph,
+        max_faults=max_faults,
+        checked=checked,
+        links=chain.links,
+    )
+    if require_violation:
+        witness.require_found()
+    return witness

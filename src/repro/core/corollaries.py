@@ -1,0 +1,193 @@
+"""Corollaries 12–15, executable.
+
+Each corollary instantiates Theorem 8's engine with a specific family
+of clock and envelope functions and reports the *unbeatable constant*:
+the trivial, communication-free synchronization ``l(q(t)) - l(p(t))``
+that no device family can improve by any ``α > 0`` in an inadequate
+graph.
+
+* Corollary 12 — linear envelope synchronization ([DHS]): linear
+  clocks and envelopes; synchronizing to within a constant is
+  impossible.
+* Corollary 13 — ``p = t``, ``q = rt``, ``l = at + b``: nothing beats
+  ``a·r·t - a·t`` (growing skew).
+* Corollary 14 — ``p = t``, ``q = t + c``, ``l = at + b``: nothing
+  beats the constant ``a·c``.
+* Corollary 15 — ``p = t``, ``q = rt``, ``l = log₂``: nothing beats
+  the constant ``log₂(r)`` (the paper's remark that diverging linear
+  clocks *can* be synchronized to within a constant via logarithmic
+  logical clocks — but no better).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+from ..graphs.graph import NodeId
+from ..runtime.timed.clocks import ClockFunction, LinearClock
+from ..runtime.timed.device import DeviceFactory
+from .clock_sync import SynchronizationSetting, refute_clock_sync
+from .witness import ImpossibilityWitness
+
+
+@dataclass(frozen=True)
+class Log2Envelope:
+    """``t ↦ log₂(t + shift)``; the small shift keeps it finite at 0."""
+
+    shift: float = 1.0
+
+    def __call__(self, t: float) -> float:
+        return math.log2(t + self.shift)
+
+
+@dataclass(frozen=True)
+class CorollaryOutcome:
+    """A corollary's instantiation plus its engine run."""
+
+    name: str
+    setting: SynchronizationSetting
+    unbeatable_skew_description: str
+    witness: ImpossibilityWitness
+
+    def trivial_skew_at(self, t: float) -> float:
+        return self.setting.lower(self.setting.q(t)) - self.setting.lower(
+            self.setting.p(t)
+        )
+
+
+def corollary_12_linear_envelope(
+    factories: Mapping[NodeId, DeviceFactory],
+    rate: float = 1.25,
+    a: float = 1.0,
+    b: float = 0.0,
+    c: float = 1.0,
+    d: float = 3.0,
+    alpha: float = 0.125,
+    t_prime: float = 1.0,
+) -> CorollaryOutcome:
+    """Linear clocks ``p=t, q=rt`` and envelopes ``l=at+b, u=ct+d``."""
+    setting = SynchronizationSetting(
+        p=LinearClock(1.0, 0.0),
+        q=LinearClock(rate, 0.0),
+        lower=LinearClock(a, b),
+        upper=LinearClock(c, d),
+        alpha=alpha,
+        t_prime=t_prime,
+    )
+    witness = refute_clock_sync(factories, setting)
+    return CorollaryOutcome(
+        name="Corollary 12 (linear envelope synchronization)",
+        setting=setting,
+        unbeatable_skew_description=(
+            f"a·(r-1)·t = {a * (rate - 1):.4g}·t — no constant bound exists"
+        ),
+        witness=witness,
+    )
+
+
+def corollary_13_diverging_linear(
+    factories: Mapping[NodeId, DeviceFactory],
+    rate: float = 1.25,
+    a: float = 1.0,
+    b: float = 0.0,
+    alpha: float = 0.125,
+    t_prime: float = 1.0,
+    upper: ClockFunction | None = None,
+) -> CorollaryOutcome:
+    """``p=t, q=rt, l=at+b``: cannot beat ``art - at`` by any constant."""
+    setting = SynchronizationSetting(
+        p=LinearClock(1.0, 0.0),
+        q=LinearClock(rate, 0.0),
+        lower=LinearClock(a, b),
+        upper=upper or LinearClock(a, b + 5.0),
+        alpha=alpha,
+        t_prime=t_prime,
+    )
+    witness = refute_clock_sync(factories, setting)
+    return CorollaryOutcome(
+        name="Corollary 13 (p=t, q=rt, l=at+b)",
+        setting=setting,
+        unbeatable_skew_description=f"a·r·t - a·t with a={a}, r={rate}",
+        witness=witness,
+    )
+
+
+def corollary_14_offset_clocks(
+    factories: Mapping[NodeId, DeviceFactory],
+    offset: float = 0.5,
+    a: float = 2.0,
+    b: float = 0.0,
+    alpha: float = 0.125,
+    t_prime: float = 1.0,
+) -> CorollaryOutcome:
+    """``p=t, q=t+c, l=at+b``: cannot synchronize closer than ``a·c``."""
+    setting = SynchronizationSetting(
+        p=LinearClock(1.0, 0.0),
+        q=LinearClock(1.0, offset),
+        lower=LinearClock(a, b),
+        upper=LinearClock(a, b + 4.0 * a * offset),
+        alpha=alpha,
+        t_prime=t_prime,
+    )
+    witness = refute_clock_sync(factories, setting)
+    return CorollaryOutcome(
+        name="Corollary 14 (p=t, q=t+c, l=at+b)",
+        setting=setting,
+        unbeatable_skew_description=(
+            f"the constant a·c = {a * offset:.4g}"
+        ),
+        witness=witness,
+    )
+
+
+def corollary_15_logarithmic(
+    factories: Mapping[NodeId, DeviceFactory],
+    rate: float = 2.0,
+    alpha: float = 0.125,
+    t_prime: float = 4.0,
+) -> CorollaryOutcome:
+    """``p=t, q=rt, l=log₂``: cannot beat the constant ``log₂ r``.
+
+    This is the sharp end of the paper's observation that running
+    logical clocks logarithmically turns diverging linear clocks into
+    constant skew — and that this constant is optimal.
+    """
+    lower = Log2Envelope(shift=1.0)
+    upper = Log2Envelope(shift=64.0)
+    setting = SynchronizationSetting(
+        p=LinearClock(1.0, 0.0),
+        q=LinearClock(rate, 0.0),
+        lower=lower,
+        upper=upper,
+        alpha=alpha,
+        t_prime=t_prime,
+    )
+    witness = refute_clock_sync(factories, setting)
+    return CorollaryOutcome(
+        name="Corollary 15 (p=t, q=rt, l=log2)",
+        setting=setting,
+        unbeatable_skew_description=(
+            f"≈ the constant log₂(r) = {math.log2(rate):.4g}"
+        ),
+        witness=witness,
+    )
+
+
+def trivial_skew_table(
+    outcome: CorollaryOutcome, times: tuple[float, ...] = (1.0, 2.0, 5.0, 10.0)
+) -> list[tuple[float, float]]:
+    """(t, trivial skew l(q(t)) - l(p(t))) pairs — the optimum curve."""
+    return [(t, outcome.trivial_skew_at(t)) for t in times]
+
+
+__all__ = [
+    "CorollaryOutcome",
+    "Log2Envelope",
+    "corollary_12_linear_envelope",
+    "corollary_13_diverging_linear",
+    "corollary_14_offset_clocks",
+    "corollary_15_logarithmic",
+    "trivial_skew_table",
+]

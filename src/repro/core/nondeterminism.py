@@ -1,0 +1,82 @@
+"""Nondeterministic devices (Section 3's closing remark).
+
+    "By considering a system and inputs as determining a set of
+    behaviors, nondeterminism may be introduced in a straightforward
+    manner. [...] the same proofs suffice to show that
+    nondeterministic algorithms cannot guarantee Byzantine agreement."
+
+Operationally: a nondeterministic device is a deterministic device
+parameterized by an *oracle* — a seeded source of choices that is part
+of the (hidden) input.  A nondeterministic algorithm *guarantees*
+agreement only if every oracle resolution does; so to refute the
+guarantee it suffices that the covering argument succeeds for each
+resolution we try — and Theorem 1 says it succeeds for all of them.
+
+:func:`refute_nondeterministic` runs the Theorem 1 engine across a
+family of oracle resolutions and returns one witness per resolution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ..graphs.graph import CommunicationGraph, NodeId
+from ..runtime.sync.device import SyncDevice
+from .byzantine import refute_node_bound
+from .witness import ImpossibilityWitness
+
+
+@dataclass(frozen=True)
+class SeededOracle:
+    """A deterministic choice oracle: one fixed resolution of all the
+    nondeterministic choices a device might make.
+
+    ``choice(key, options)`` is a pure function of ``(seed, key)``, so
+    the same oracle installed at several covering nodes resolves their
+    choices identically — which is exactly the refinement of the
+    Locality axiom the paper's remark requires.
+    """
+
+    seed: int
+
+    def choice(self, key: Any, options: Sequence[Any]) -> Any:
+        if not options:
+            raise ValueError("cannot choose from no options")
+        digest = hashlib.sha256(
+            f"{self.seed}::{key!r}".encode()
+        ).digest()
+        return options[int.from_bytes(digest[:4], "big") % len(options)]
+
+    def coin(self, key: Any) -> int:
+        return self.choice(key, (0, 1))
+
+
+DeviceFamily = Callable[[SeededOracle], Mapping[NodeId, SyncDevice]]
+
+
+def refute_nondeterministic(
+    graph: CommunicationGraph,
+    family: DeviceFamily,
+    max_faults: int,
+    rounds: int,
+    oracle_seeds: Iterable[int] = range(8),
+) -> list[ImpossibilityWitness]:
+    """Refute a nondeterministic agreement algorithm resolution by
+    resolution.
+
+    ``family(oracle)`` must return the device assignment obtained by
+    fixing the algorithm's choices with ``oracle``.  Every resolution
+    is a deterministic algorithm, so Theorem 1's engine produces a
+    witness for each — hence no resolution guarantees agreement, hence
+    the nondeterministic algorithm does not either.
+    """
+    witnesses = []
+    for seed in oracle_seeds:
+        devices = family(SeededOracle(seed))
+        witnesses.append(
+            refute_node_bound(graph, dict(devices), max_faults, rounds)
+        )
+    return witnesses

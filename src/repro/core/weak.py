@@ -1,0 +1,224 @@
+"""Theorem 2, executable: weak agreement is impossible in inadequate
+graphs under the Bounded-Delay Locality axiom.
+
+The construction (Section 4): measure ``t'``, the decision deadline of
+the candidate devices in the two all-correct, all-same-input behaviors
+of the triangle; pick ``k > t'/δ`` (a multiple of 3); build the ring of
+``4k`` nodes covering the triangle with one half input 1 and the other
+half input 0; run it once.
+
+* **Lemma 3** (verified, not assumed): nodes at ring-distance ``>= k``
+  from the opposite input region behave identically to the all-0 (or
+  all-1) triangle run through time ``k·δ > t'`` — so the middle of each
+  half decides its own half's value.
+* Every adjacent pair of ring nodes is, by the Fault axiom, a pair of
+  correct nodes in a correct behavior of the triangle, so agreement
+  must hold around the whole ring — yet the two halves decided
+  differently.  The engine finds the boundary pair(s) whose correct
+  behavior of ``G`` violates agreement (or the choice condition).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from ..graphs.builders import triangle
+from ..graphs.coverings import ring_cover_of_triangle
+from ..graphs.graph import CommunicationGraph, NodeId
+from ..problems.byzantine import WeakAgreementSpec
+from ..problems.spec import SpecVerdict, Violation
+from ..runtime.timed.device import DeviceFactory
+from ..runtime.timed.executor import run_timed
+from ..runtime.timed.system import install_in_covering_timed, make_timed_system
+from .timed_argument import TimedArgumentError, build_base_behavior_timed
+from .witness import CheckedBehavior, ImpossibilityWitness
+
+_SPEC = WeakAgreementSpec()
+
+
+@dataclass(frozen=True)
+class _AllCorrectStub:
+    """Stands in for a constructed behavior when the violation already
+    appears in an all-correct run (no covering needed)."""
+
+    label: str
+    scenario_nodes: tuple[NodeId, ...]
+    correct_nodes: frozenset[NodeId]
+    faulty_nodes: frozenset[NodeId] = frozenset()
+
+
+def ring_parameter(t_prime: float, delta: float) -> int:
+    """The paper's ``k``: a multiple of 3 strictly exceeding ``t'/δ``."""
+    k = max(3, math.floor(t_prime / delta) + 1)
+    while k % 3 != 0:
+        k += 1
+    return k
+
+
+def refute_weak_agreement(
+    factories: Mapping[NodeId, DeviceFactory],
+    delta: float,
+    decision_deadline: float,
+    base: CommunicationGraph | None = None,
+    horizon_slack: float = 2.0,
+    require_violation: bool = True,
+) -> ImpossibilityWitness:
+    """Refute claimed weak-agreement devices for the triangle.
+
+    Parameters
+    ----------
+    factories:
+        Device factory per triangle node.
+    delta:
+        The minimum (here: exact) message delay — the Bounded-Delay
+        Locality constant.
+    decision_deadline:
+        The claimed bound on decision time in all-correct, same-input
+        behaviors; if the devices miss it there, that is already a
+        choice-condition violation and the witness is immediate.
+    """
+    base = base or triangle()
+    # Step 1: the two all-correct reference behaviors.
+    run0 = run_timed(
+        make_timed_system(
+            base, factories, {u: 0 for u in base.nodes}, delay=delta
+        ),
+        horizon=decision_deadline,
+    )
+    run1 = run_timed(
+        make_timed_system(
+            base, factories, {u: 1 for u in base.nodes}, delay=delta
+        ),
+        horizon=decision_deadline,
+    )
+    for label, reference, value in (("all-0", run0, 0), ("all-1", run1, 1)):
+        verdict = _SPEC.check(
+            {u: value for u in base.nodes},
+            reference.decisions(),
+            base.nodes,
+            all_correct=True,
+        )
+        if not verdict.ok:
+            return ImpossibilityWitness(
+                problem="weak-agreement",
+                bound="3f+1 nodes",
+                graph=base,
+                max_faults=1,
+                checked=(
+                    CheckedBehavior(
+                        constructed=_AllCorrectStub(
+                            label=label,
+                            scenario_nodes=tuple(base.nodes),
+                            correct_nodes=frozenset(base.nodes),
+                        ),
+                        verdict=verdict,
+                    ),
+                ),
+                extra={"stage": "all-correct reference runs"},
+            )
+
+    t_prime = max(run0.max_decision_time(), run1.max_decision_time())
+    k = ring_parameter(t_prime, delta)
+    ring_size = 4 * k
+    covering = ring_cover_of_triangle(ring_size, base)
+    ring_nodes = covering.cover.nodes
+    cover_inputs = {
+        node: 1 if index < 2 * k else 0
+        for index, node in enumerate(ring_nodes)
+    }
+    cover_system = install_in_covering_timed(
+        covering, factories, cover_inputs, delay=delta
+    )
+    horizon = max(k * delta, t_prime) * horizon_slack
+    cover_behavior = run_timed(cover_system, horizon)
+
+    # Step 2: Lemma 3, checked operationally — the middles of the two
+    # halves are prefix-identical to the all-correct references through
+    # t' < k·δ, hence decide their half's value.
+    lemma3 = []
+    for index, reference, expected in (
+        (k - 1, run1, 1),
+        (k, run1, 1),
+        (3 * k - 1, run0, 0),
+        (3 * k, run0, 0),
+    ):
+        node = ring_nodes[index]
+        same = cover_behavior.node(node).prefix_equal(
+            reference.node(covering(node)), through=t_prime
+        )
+        if not same:
+            raise TimedArgumentError(
+                f"Lemma 3 failed at ring node {node!r}: behavior differs "
+                "from the all-correct reference before information could "
+                "arrive — candidate devices are nondeterministic"
+            )
+        lemma3.append(
+            {
+                "node": node,
+                "distance_to_other_half": k,
+                "identical_through": t_prime,
+                "decides": cover_behavior.node(node).decision,
+                "expected": expected,
+            }
+        )
+
+    # Step 3: every adjacent pair is a correct behavior of G.
+    checked: list[CheckedBehavior] = []
+    for i in range(ring_size):
+        pair = [ring_nodes[i], ring_nodes[(i + 1) % ring_size]]
+        constructed = build_base_behavior_timed(
+            covering,
+            cover_system,
+            cover_behavior,
+            pair,
+            factories,
+            label=f"E{i}",
+        )
+        verdict = _SPEC.check(
+            constructed.inputs,
+            constructed.decisions(),
+            constructed.correct_nodes,
+            all_correct=False,
+        )
+        checked.append(CheckedBehavior(constructed=constructed, verdict=verdict))
+
+    witness = ImpossibilityWitness(
+        problem="weak-agreement",
+        bound=f"3f+1 nodes (Bounded-Delay Locality, δ={delta})",
+        graph=base,
+        max_faults=1,
+        checked=tuple(checked),
+        extra={
+            "t_prime": t_prime,
+            "k": k,
+            "ring_size": ring_size,
+            "lemma3": lemma3,
+        },
+    )
+    if require_violation:
+        witness.require_found()
+    return witness
+
+
+def agreement_frontier(witness: ImpossibilityWitness) -> list[str]:
+    """The labels of the boundary behaviors where agreement breaks —
+    the ring positions where 1-deciders meet 0-deciders."""
+    return [
+        checked.label
+        for checked in witness.violated
+        if any(
+            v.condition == "agreement" for v in checked.verdict.violations
+        )
+    ]
+
+
+__all__ = [
+    "agreement_frontier",
+    "refute_weak_agreement",
+    "ring_parameter",
+    "SpecVerdict",
+    "Violation",
+]

@@ -1,0 +1,92 @@
+"""Adequate vs. inadequate graphs.
+
+The paper calls a graph *inadequate* for ``f`` faults when it has fewer
+than ``3f + 1`` nodes or connectivity less than ``2f + 1``.  Every
+impossibility result applies exactly to inadequate graphs; every
+positive protocol in :mod:`repro.protocols` requires an adequate one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .connectivity import node_connectivity
+from .graph import CommunicationGraph, GraphError
+
+
+def required_nodes(max_faults: int) -> int:
+    """Minimum node count to tolerate ``f`` Byzantine faults: ``3f + 1``."""
+    _check_f(max_faults)
+    return 3 * max_faults + 1
+
+
+def required_connectivity(max_faults: int) -> int:
+    """Minimum connectivity to tolerate ``f`` Byzantine faults: ``2f + 1``."""
+    _check_f(max_faults)
+    return 2 * max_faults + 1
+
+
+@dataclass(frozen=True)
+class AdequacyReport:
+    """Why a graph is (in)adequate for a given number of faults."""
+
+    n_nodes: int
+    connectivity: int
+    max_faults: int
+    enough_nodes: bool
+    enough_connectivity: bool
+
+    @property
+    def adequate(self) -> bool:
+        return self.enough_nodes and self.enough_connectivity
+
+    def describe(self) -> str:
+        f = self.max_faults
+        parts = [
+            f"n = {self.n_nodes} {'≥' if self.enough_nodes else '<'} "
+            f"3f+1 = {3 * f + 1}",
+            f"κ = {self.connectivity} "
+            f"{'≥' if self.enough_connectivity else '<'} 2f+1 = {2 * f + 1}",
+        ]
+        verdict = "ADEQUATE" if self.adequate else "INADEQUATE"
+        return f"{verdict} for f = {f}: " + ", ".join(parts)
+
+
+def classify(graph: CommunicationGraph, max_faults: int) -> AdequacyReport:
+    """Full adequacy report for ``graph`` against ``f`` faults."""
+    _check_f(max_faults)
+    if len(graph) < 3:
+        raise GraphError("the paper assumes graphs with at least three nodes")
+    kappa = node_connectivity(graph)
+    return AdequacyReport(
+        n_nodes=len(graph),
+        connectivity=kappa,
+        max_faults=max_faults,
+        enough_nodes=len(graph) >= required_nodes(max_faults),
+        enough_connectivity=kappa >= required_connectivity(max_faults),
+    )
+
+
+def is_adequate(graph: CommunicationGraph, max_faults: int) -> bool:
+    """``n >= 3f + 1`` and ``κ(G) >= 2f + 1``."""
+    return classify(graph, max_faults).adequate
+
+
+def is_inadequate(graph: CommunicationGraph, max_faults: int) -> bool:
+    """Fewer than ``3f + 1`` nodes or connectivity below ``2f + 1``."""
+    return not is_adequate(graph, max_faults)
+
+
+def max_tolerable_faults(graph: CommunicationGraph) -> int:
+    """Largest ``f`` for which ``graph`` is adequate (0 if none)."""
+    if len(graph) < 3:
+        raise GraphError("the paper assumes graphs with at least three nodes")
+    kappa = node_connectivity(graph)
+    by_nodes = (len(graph) - 1) // 3
+    by_connectivity = (kappa - 1) // 2
+    return max(0, min(by_nodes, by_connectivity))
+
+
+def _check_f(max_faults: int) -> None:
+    if max_faults < 1:
+        raise GraphError("the fault bound f must be at least 1")

@@ -1,0 +1,209 @@
+"""Constructors for the communication graphs used throughout the paper
+and its benchmarks: complete graphs, rings, lines, wheels, the diamond
+of Section 3.2, and random regular-ish graphs for property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from .graph import CommunicationGraph, GraphError, NodeId
+
+
+def complete_graph(n: int, prefix: str = "n") -> CommunicationGraph:
+    """The complete communication graph on ``n`` nodes ``n0 .. n{n-1}``."""
+    if n < 1:
+        raise GraphError("complete_graph needs n >= 1")
+    nodes = [f"{prefix}{i}" for i in range(n)]
+    edges = [(nodes[i], nodes[j]) for i in range(n) for j in range(i + 1, n)]
+    return CommunicationGraph(nodes, edges)
+
+
+def triangle() -> CommunicationGraph:
+    """The three-node complete graph ``a — b — c`` of Section 3.1."""
+    return CommunicationGraph(["a", "b", "c"], [("a", "b"), ("b", "c"), ("c", "a")])
+
+
+def diamond() -> CommunicationGraph:
+    """Section 3.2's four-node graph of connectivity two.
+
+    Nodes ``a, b, c, d`` arranged in a 4-cycle ``a - b - c - d - a``;
+    removing ``{b, d}`` disconnects ``a`` from ``c``.
+    """
+    return CommunicationGraph(
+        ["a", "b", "c", "d"],
+        [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")],
+    )
+
+
+def ring(n: int, prefix: str = "r") -> CommunicationGraph:
+    """A ring (cycle) of ``n >= 3`` nodes."""
+    if n < 3:
+        raise GraphError("ring needs n >= 3")
+    nodes = [f"{prefix}{i}" for i in range(n)]
+    edges = [(nodes[i], nodes[(i + 1) % n]) for i in range(n)]
+    return CommunicationGraph(nodes, edges)
+
+
+def line(n: int, prefix: str = "l") -> CommunicationGraph:
+    """A simple path of ``n >= 2`` nodes."""
+    if n < 2:
+        raise GraphError("line needs n >= 2")
+    nodes = [f"{prefix}{i}" for i in range(n)]
+    edges = [(nodes[i], nodes[i + 1]) for i in range(n - 1)]
+    return CommunicationGraph(nodes, edges)
+
+
+def wheel(n_rim: int, prefix: str = "w") -> CommunicationGraph:
+    """A wheel: a hub connected to every node of an ``n_rim``-ring."""
+    if n_rim < 3:
+        raise GraphError("wheel needs n_rim >= 3")
+    hub = f"{prefix}hub"
+    rim = [f"{prefix}{i}" for i in range(n_rim)]
+    edges = [(rim[i], rim[(i + 1) % n_rim]) for i in range(n_rim)]
+    edges.extend((hub, r) for r in rim)
+    return CommunicationGraph([hub, *rim], edges)
+
+
+def star(n_leaves: int, prefix: str = "s") -> CommunicationGraph:
+    """A hub connected to ``n_leaves`` leaves (connectivity 1)."""
+    if n_leaves < 2:
+        raise GraphError("star needs n_leaves >= 2")
+    hub = f"{prefix}hub"
+    leaves = [f"{prefix}{i}" for i in range(n_leaves)]
+    return CommunicationGraph([hub, *leaves], [(hub, leaf) for leaf in leaves])
+
+
+def complete_bipartite(a: int, b: int, prefix: str = "b") -> CommunicationGraph:
+    """The complete bipartite graph ``K_{a,b}`` (connectivity min(a, b))."""
+    if a < 1 or b < 1:
+        raise GraphError("complete_bipartite needs both sides nonempty")
+    left = [f"{prefix}L{i}" for i in range(a)]
+    right = [f"{prefix}R{i}" for i in range(b)]
+    edges = [(u, v) for u in left for v in right]
+    return CommunicationGraph([*left, *right], edges)
+
+
+def circulant(n: int, offsets: Sequence[int], prefix: str = "c") -> CommunicationGraph:
+    """Circulant graph: node ``i`` adjacent to ``i ± o`` for each offset.
+
+    Circulants give fine-grained control over connectivity (a circulant
+    with offsets ``1..k`` is ``2k``-connected for ``n > 2k``), which the
+    connectivity benchmarks use to sweep around the ``2f+1`` threshold.
+    """
+    if n < 3:
+        raise GraphError("circulant needs n >= 3")
+    offs = sorted({o % n for o in offsets} - {0})
+    if not offs:
+        raise GraphError("circulant needs at least one nonzero offset")
+    nodes = [f"{prefix}{i}" for i in range(n)]
+    edges = []
+    for i in range(n):
+        for o in offs:
+            j = (i + o) % n
+            if i < j or (j < i and (j - i) % n == o):
+                edges.append((nodes[i], nodes[j]))
+    return CommunicationGraph(nodes, edges)
+
+
+def butterfly_network(f: int) -> CommunicationGraph:
+    """An adequate-but-not-complete graph with ``3f + 1`` nodes.
+
+    Built as a complete graph on ``3f + 1`` nodes minus a matching on
+    ``f`` disjoint pairs; connectivity drops to ``3f - 1 >= 2f + 1``
+    when ``f >= 2`` (for ``f = 1`` the graph stays complete).  Used by
+    benchmarks needing adequate graphs that are not complete.
+    """
+    if f < 1:
+        raise GraphError("butterfly_network needs f >= 1")
+    n = 3 * f + 1
+    g = complete_graph(n)
+    if f == 1:
+        return g
+    nodes = g.nodes
+    dropped = {frozenset((nodes[2 * i], nodes[2 * i + 1])) for i in range(f)}
+    edges = [
+        (u, v)
+        for (u, v) in g.edges
+        if frozenset((u, v)) not in dropped and nodes.index(u) < nodes.index(v)
+    ]
+    return CommunicationGraph(nodes, edges)
+
+
+def harary_graph(connectivity: int, n: int, prefix: str = "h") -> CommunicationGraph:
+    """The Harary graph ``H_{k,n}``: the ``k``-connected graph on ``n``
+    nodes with the fewest possible edges (``⌈k·n/2⌉``).
+
+    This is the *cheapest* way to buy adequacy: tolerating ``f``
+    Byzantine faults needs connectivity ``2f + 1`` (FLM's bound), and
+    ``H_{2f+1, n}`` achieves it with minimum wiring.  Construction
+    (Harary 1962): connect every node to its ``⌊k/2⌋`` nearest
+    neighbors on each side of a ring; for odd ``k`` add diameters
+    (even ``n``) or near-diameters (odd ``n``).
+    """
+    k, n = connectivity, n
+    if k < 1 or n <= k:
+        raise GraphError("harary_graph needs 1 <= k < n")
+    nodes = [f"{prefix}{i}" for i in range(n)]
+    edges: set[frozenset] = set()
+
+    def connect(i: int, j: int) -> None:
+        if i % n != j % n:
+            edges.add(frozenset((nodes[i % n], nodes[j % n])))
+
+    half = k // 2
+    for i in range(n):
+        for offset in range(1, half + 1):
+            connect(i, i + offset)
+    if k % 2 == 1:
+        if n % 2 == 0:
+            for i in range(n // 2):
+                connect(i, i + n // 2)
+        else:
+            # Odd n: the classic construction joins i to i + (n-1)/2
+            # for i in 0..(n-1)/2 inclusive, giving one extra edge.
+            for i in range(n // 2 + 1):
+                connect(i, i + (n - 1) // 2)
+    edge_list = sorted(tuple(sorted(e)) for e in edges)
+    return CommunicationGraph(nodes, edge_list)
+
+
+def cheapest_adequate_graph(
+    n: int, max_faults: int, prefix: str = "h"
+) -> CommunicationGraph:
+    """The minimum-edge graph on ``n`` nodes that is adequate for ``f``
+    faults: the Harary graph of connectivity ``2f + 1``.
+
+    Requires ``n >= 3f + 1`` (no wiring fixes a node shortage — that is
+    Theorem 1's other half)."""
+    if n < 3 * max_faults + 1:
+        raise GraphError(
+            f"n = {n} < 3f+1 = {3 * max_faults + 1}: no topology on this "
+            "few nodes is adequate (Theorem 1)"
+        )
+    return harary_graph(2 * max_faults + 1, n, prefix)
+
+
+def random_connected_graph(
+    n: int,
+    extra_edge_probability: float = 0.3,
+    rng: random.Random | None = None,
+    prefix: str = "g",
+) -> CommunicationGraph:
+    """A random connected graph: a random spanning tree plus extra edges.
+
+    Deterministic given ``rng``; used by property-based tests.
+    """
+    if n < 1:
+        raise GraphError("random_connected_graph needs n >= 1")
+    rng = rng or random.Random(0)
+    nodes = [f"{prefix}{i}" for i in range(n)]
+    edges: list[tuple[NodeId, NodeId]] = []
+    for i in range(1, n):
+        edges.append((nodes[i], nodes[rng.randrange(i)]))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < extra_edge_probability:
+                edges.append((nodes[i], nodes[j]))
+    return CommunicationGraph(nodes, edges)

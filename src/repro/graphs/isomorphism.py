@@ -1,0 +1,111 @@
+"""Graph isomorphism for small graphs (backtracking with degree
+pruning).
+
+The paper's figures claim specific *shapes* for its coverings — the
+double cover of the triangle "is" the hexagon, the double cover of the
+diamond "is" the 8-ring.  This module lets tests assert those claims
+literally instead of checking proxy properties (degree sequences,
+connectivity).  Exponential worst case; intended for the tens-of-nodes
+graphs this library works with.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from .graph import CommunicationGraph, NodeId
+
+
+def find_isomorphism(
+    first: CommunicationGraph, second: CommunicationGraph
+) -> dict[NodeId, NodeId] | None:
+    """A node bijection preserving adjacency, or ``None``."""
+    if len(first) != len(second):
+        return None
+    if len(first.edges) != len(second.edges):
+        return None
+    degrees_first = sorted(first.degree(u) for u in first.nodes)
+    degrees_second = sorted(second.degree(u) for u in second.nodes)
+    if degrees_first != degrees_second:
+        return None
+
+    # Order first's nodes to fail fast: highest degree first, then by
+    # connectivity to already-placed nodes.
+    order: list[NodeId] = []
+    placed: set[NodeId] = set()
+    remaining = set(first.nodes)
+    while remaining:
+        best = max(
+            remaining,
+            key=lambda u: (
+                sum(1 for v in first.neighbors(u) if v in placed),
+                first.degree(u),
+                str(u),
+            ),
+        )
+        order.append(best)
+        placed.add(best)
+        remaining.discard(best)
+
+    by_degree: dict[int, list[NodeId]] = {}
+    for v in second.nodes:
+        by_degree.setdefault(second.degree(v), []).append(v)
+
+    mapping: dict[NodeId, NodeId] = {}
+    used: set[NodeId] = set()
+
+    def compatible(u: NodeId, v: NodeId) -> bool:
+        for neighbor in first.neighbors(u):
+            if neighbor in mapping:
+                if not second.has_edge(v, mapping[neighbor]):
+                    return False
+        # Non-adjacency must be preserved too (same edge count makes
+        # one direction sufficient, but checking both prunes earlier).
+        for placed_u, placed_v in mapping.items():
+            if first.has_edge(u, placed_u) != second.has_edge(v, placed_v):
+                return False
+        return True
+
+    def backtrack(index: int) -> bool:
+        if index == len(order):
+            return True
+        u = order[index]
+        for v in by_degree.get(first.degree(u), []):
+            if v in used or not compatible(u, v):
+                continue
+            mapping[u] = v
+            used.add(v)
+            if backtrack(index + 1):
+                return True
+            del mapping[u]
+            used.discard(v)
+        return False
+
+    return dict(mapping) if backtrack(0) else None
+
+
+def is_isomorphic(
+    first: CommunicationGraph, second: CommunicationGraph
+) -> bool:
+    return find_isomorphism(first, second) is not None
+
+
+def verify_isomorphism(
+    first: CommunicationGraph,
+    second: CommunicationGraph,
+    mapping: Mapping[NodeId, NodeId],
+) -> bool:
+    """Check that a claimed bijection is adjacency-preserving."""
+    if set(mapping) != set(first.nodes):
+        return False
+    if set(mapping.values()) != set(second.nodes):
+        return False
+    for u1 in first.nodes:
+        for u2 in first.nodes:
+            if u1 == u2:
+                continue
+            if first.has_edge(u1, u2) != second.has_edge(
+                mapping[u1], mapping[u2]
+            ):
+                return False
+    return True

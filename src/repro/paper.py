@@ -1,0 +1,257 @@
+"""The paper's structure, as data: every theorem and corollary mapped
+to the code that reproduces it.
+
+This is the machine-readable version of DESIGN.md's experiment index —
+useful for discovery (``python -c "import repro.paper;
+repro.paper.print_index()"``) and used by the test suite to guarantee
+the map stays complete and truthful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PaperResult:
+    """One theorem/corollary and where it lives in this library."""
+
+    identifier: str
+    section: str
+    statement: str
+    engine: str  # dotted path of the refuting function / demo entry
+    positive_counterpart: str | None = None
+    benchmark: str = ""
+    axioms: tuple[str, ...] = field(default_factory=tuple)
+
+
+RESULTS: tuple[PaperResult, ...] = (
+    PaperResult(
+        identifier="theorem-1-nodes",
+        section="3.1",
+        statement=(
+            "Byzantine agreement is impossible with n <= 3f nodes"
+        ),
+        engine="repro.core.refute_node_bound",
+        positive_counterpart="repro.protocols.eig_devices",
+        benchmark="benchmarks/bench_theorem1_nodes.py",
+        axioms=("Locality", "Fault"),
+    ),
+    PaperResult(
+        identifier="theorem-1-connectivity",
+        section="3.2",
+        statement=(
+            "Byzantine agreement is impossible with connectivity <= 2f"
+        ),
+        engine="repro.core.refute_connectivity",
+        positive_counterpart="repro.protocols.sparse_agreement_devices",
+        benchmark="benchmarks/bench_theorem1_connectivity.py",
+        axioms=("Locality", "Fault"),
+    ),
+    PaperResult(
+        identifier="theorem-2",
+        section="4",
+        statement="Weak agreement is impossible in inadequate graphs",
+        engine="repro.core.refute_weak_agreement",
+        positive_counterpart="repro.protocols.weak_agreement_devices",
+        benchmark="benchmarks/bench_theorem2_weak.py",
+        axioms=("Locality", "Fault", "Bounded-Delay Locality"),
+    ),
+    PaperResult(
+        identifier="theorem-4",
+        section="5",
+        statement=(
+            "The Byzantine firing squad problem cannot be solved in "
+            "inadequate graphs"
+        ),
+        engine="repro.core.refute_firing_squad",
+        positive_counterpart="repro.protocols.firing_squad_devices",
+        benchmark="benchmarks/bench_theorem4_firing_squad.py",
+        axioms=("Locality", "Fault", "Bounded-Delay Locality"),
+    ),
+    PaperResult(
+        identifier="theorem-5",
+        section="6.1",
+        statement=(
+            "Simple approximate agreement is impossible in inadequate "
+            "graphs"
+        ),
+        engine="repro.core.refute_simple_node_bound",
+        positive_counterpart="repro.protocols.dlpsw_devices",
+        benchmark="benchmarks/bench_theorem5_approx.py",
+        axioms=("Locality", "Fault"),
+    ),
+    PaperResult(
+        identifier="theorem-6",
+        section="6.2",
+        statement=(
+            "(ε,δ,γ)-agreement with ε < δ is impossible in inadequate "
+            "graphs"
+        ),
+        engine="repro.core.refute_epsilon_delta",
+        positive_counterpart="repro.protocols.inexact_devices",
+        benchmark="benchmarks/bench_theorem6_eps_delta.py",
+        axioms=("Locality", "Fault"),
+    ),
+    PaperResult(
+        identifier="theorem-8",
+        section="7",
+        statement=(
+            "Nontrivial clock synchronization is impossible in "
+            "inadequate graphs"
+        ),
+        engine="repro.core.refute_clock_sync",
+        positive_counterpart="repro.protocols.AveragingSyncDevice",
+        benchmark="benchmarks/bench_theorem8_clock_sync.py",
+        axioms=("Locality", "Fault", "Scaling"),
+    ),
+    PaperResult(
+        identifier="corollary-12",
+        section="7.1",
+        statement=(
+            "Linear envelope synchronization is impossible in "
+            "inadequate graphs"
+        ),
+        engine="repro.core.corollary_12_linear_envelope",
+        benchmark="benchmarks/bench_corollaries_clock.py",
+        axioms=("Scaling",),
+    ),
+    PaperResult(
+        identifier="corollary-13",
+        section="7.1",
+        statement="With p=t, q=rt, l=at+b, nothing beats skew art-at",
+        engine="repro.core.corollary_13_diverging_linear",
+        benchmark="benchmarks/bench_corollaries_clock.py",
+        axioms=("Scaling",),
+    ),
+    PaperResult(
+        identifier="corollary-14",
+        section="7.1",
+        statement="With p=t, q=t+c, l=at+b, nothing beats the constant ac",
+        engine="repro.core.corollary_14_offset_clocks",
+        benchmark="benchmarks/bench_corollaries_clock.py",
+        axioms=("Scaling",),
+    ),
+    PaperResult(
+        identifier="corollary-15",
+        section="7.1",
+        statement=(
+            "With p=t, q=rt, l=log2, nothing beats the constant log2(r)"
+        ),
+        engine="repro.core.corollary_15_logarithmic",
+        benchmark="benchmarks/bench_corollaries_clock.py",
+        axioms=("Scaling",),
+    ),
+    PaperResult(
+        identifier="remark-signatures",
+        section="2",
+        statement=(
+            "Weakening the Fault axiom (unforgeable signatures) makes "
+            "consensus possible"
+        ),
+        engine="repro.protocols.authenticated_consensus_devices",
+        benchmark="benchmarks/bench_authenticated.py",
+        axioms=("Locality",),
+    ),
+    PaperResult(
+        identifier="remark-nondeterminism",
+        section="3",
+        statement=(
+            "Nondeterministic algorithms cannot guarantee Byzantine "
+            "agreement either"
+        ),
+        engine="repro.core.refute_nondeterministic",
+        benchmark="benchmarks/bench_extensions.py",
+        axioms=("Locality", "Fault"),
+    ),
+    PaperResult(
+        identifier="theorem-2-connectivity",
+        section="4 (general case remark)",
+        statement=(
+            "Weak agreement's connectivity bound, via cyclic m-fold covers"
+        ),
+        engine="repro.core.refute_weak_agreement_connectivity",
+        benchmark="benchmarks/bench_theorem2_weak.py",
+        axioms=("Locality", "Fault", "Bounded-Delay Locality"),
+    ),
+    PaperResult(
+        identifier="theorem-4-connectivity",
+        section="5 (general case remark)",
+        statement="The firing squad's connectivity bound",
+        engine="repro.core.refute_firing_squad_connectivity",
+        benchmark="benchmarks/bench_theorem4_firing_squad.py",
+        axioms=("Locality", "Fault", "Bounded-Delay Locality"),
+    ),
+    PaperResult(
+        identifier="theorem-6-connectivity",
+        section="6.2 (general case remark)",
+        statement=(
+            "(ε,δ,γ)-agreement's connectivity bound (ε < δ/2 via this "
+            "chain)"
+        ),
+        engine="repro.core.refute_epsilon_delta_connectivity",
+        benchmark="benchmarks/bench_theorem6_eps_delta.py",
+        axioms=("Locality", "Fault"),
+    ),
+    PaperResult(
+        identifier="theorem-8-connectivity",
+        section="7 (closing remark)",
+        statement="Clock synchronization's connectivity bound",
+        engine="repro.core.refute_clock_sync_connectivity",
+        benchmark="benchmarks/bench_theorem8_clock_sync.py",
+        axioms=("Locality", "Fault", "Scaling"),
+    ),
+    PaperResult(
+        identifier="conclusion-fault-axiom",
+        section="8",
+        statement=(
+            "The bounds stem from Byzantine masquerading: crash-only "
+            "faults admit consensus on inadequate graphs"
+        ),
+        engine="repro.protocols.floodset_devices",
+        benchmark="benchmarks/bench_extensions.py",
+        axioms=("Locality",),
+    ),
+    PaperResult(
+        identifier="footnote-3",
+        section="3.1",
+        statement=(
+            "The general n <= 3f case reduces to f = 1 by collapsing "
+            "subgraphs into supernode systems"
+        ),
+        engine="repro.runtime.sync.collapse_system",
+        benchmark="benchmarks/bench_extensions.py",
+        axioms=("Locality", "Fault"),
+    ),
+)
+
+
+def by_id(identifier: str) -> PaperResult:
+    for result in RESULTS:
+        if result.identifier == identifier:
+            return result
+    raise KeyError(identifier)
+
+
+def resolve(dotted: str):
+    """Import the object named by a result's ``engine`` path."""
+    module_path, _, attr = dotted.rpartition(".")
+    module = __import__(module_path, fromlist=[attr])
+    return getattr(module, attr)
+
+
+def print_index() -> None:
+    from .analysis.tables import format_table
+
+    rows = [
+        (r.identifier, r.section, r.engine.rsplit(".", 1)[-1],
+         ", ".join(r.axioms))
+        for r in RESULTS
+    ]
+    print(
+        format_table(
+            ("result", "§", "engine", "axioms"),
+            rows,
+            "FLM 1985 — reproduction index",
+        )
+    )

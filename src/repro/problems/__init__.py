@@ -1,0 +1,25 @@
+"""Executable specifications of the paper's five consensus problems."""
+
+from .approximate import EpsilonDeltaGammaSpec, SimpleApproximateAgreementSpec
+from .byzantine import (
+    ByzantineAgreementSpec,
+    WeakAgreementSpec,
+    check_agreement,
+    check_termination,
+)
+from .clock_sync import ClockSyncSpec
+from .firing_squad import FiringSquadSpec
+from .spec import SpecVerdict, Violation
+
+__all__ = [
+    "ByzantineAgreementSpec",
+    "ClockSyncSpec",
+    "EpsilonDeltaGammaSpec",
+    "FiringSquadSpec",
+    "SimpleApproximateAgreementSpec",
+    "SpecVerdict",
+    "Violation",
+    "WeakAgreementSpec",
+    "check_agreement",
+    "check_termination",
+]

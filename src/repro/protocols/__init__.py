@@ -1,0 +1,130 @@
+"""Consensus protocols: the positive side of the paper's bounds.
+
+Naive devices (refutation targets for the impossibility engines) plus
+the classical algorithms that match the bounds on adequate graphs:
+
+* :mod:`~repro.protocols.eig` — EIG Byzantine agreement, ``n >= 3f+1``
+  in ``f+1`` rounds (the matching upper bound for Theorem 1);
+* :mod:`~repro.protocols.phase_king` — polynomial-message agreement;
+* :mod:`~repro.protocols.authenticated` — Dolev–Strong signed-message
+  agreement for any ``f`` (the paper's remark that weakening the Fault
+  axiom breaks the bound);
+* :mod:`~repro.protocols.dolev_relay` — transmission over ``2f+1``
+  vertex-disjoint paths (the matching bound for connectivity);
+* :mod:`~repro.protocols.approx_dlpsw` / :mod:`~repro.protocols.
+  inexact_ms` — approximate/inexact agreement (Theorems 5/6 duals);
+* :mod:`~repro.protocols.clock_sync_avg` — averaging clock
+  synchronization (Theorem 8 dual);
+* :mod:`~repro.protocols.reductions` — weak agreement and the firing
+  squad from Byzantine agreement.
+"""
+
+from .approx_dlpsw import IteratedTrimmedMeanDevice, dlpsw_devices, trimmed_mean
+from .authenticated import (
+    AuthenticatedConsensusDevice,
+    DolevStrongBroadcastDevice,
+    authenticated_consensus_devices,
+    sign,
+    signed_core,
+    signer_chain,
+)
+from .clock_sync_avg import (
+    AveragingSyncDevice,
+    ByzantineClockDevice,
+    OffsetEnvelope,
+    max_logical_skew,
+)
+from .crash_consensus import FloodSetDevice, floodset_devices
+from .dolev_relay import RelayNodeDevice, relay_devices, transmission_rounds
+from .eig import EIGDevice, eig_devices
+from .gradecast import GradecastDevice, gradecast_devices
+from .inexact_ms import (
+    InexactAgreementDevice,
+    fault_tolerant_midpoint,
+    inexact_devices,
+    rounds_for_target,
+)
+from .naive import (
+    EchoInputDevice,
+    FloodValueDevice,
+    MajorityVoteDevice,
+    MedianDevice,
+    MidpointDevice,
+    MinimumDevice,
+)
+from .phase_king import PhaseKingDevice, phase_king_devices
+from .sparse_agreement import (
+    RelayedAgreementDevice,
+    build_routing,
+    sparse_agreement_devices,
+)
+from .reliable_broadcast import (
+    ReliableBroadcastDevice,
+    reliable_broadcast_devices,
+)
+from .reductions import (
+    FiringSquadFromAgreementDevice,
+    fire_round_of,
+    firing_squad_devices,
+    weak_agreement_devices,
+)
+from .timed_naive import (
+    AlarmWeakDevice,
+    CountdownFireDevice,
+    ExchangeMidpointClockDevice,
+    ExchangeOnceWeakDevice,
+    LowerEnvelopeClockDevice,
+    RelayFireDevice,
+)
+
+__all__ = [
+    "AlarmWeakDevice",
+    "AuthenticatedConsensusDevice",
+    "AveragingSyncDevice",
+    "ByzantineClockDevice",
+    "CountdownFireDevice",
+    "DolevStrongBroadcastDevice",
+    "EIGDevice",
+    "EchoInputDevice",
+    "ExchangeMidpointClockDevice",
+    "ExchangeOnceWeakDevice",
+    "FiringSquadFromAgreementDevice",
+    "FloodSetDevice",
+    "FloodValueDevice",
+    "floodset_devices",
+    "GradecastDevice",
+    "gradecast_devices",
+    "InexactAgreementDevice",
+    "IteratedTrimmedMeanDevice",
+    "LowerEnvelopeClockDevice",
+    "MajorityVoteDevice",
+    "MedianDevice",
+    "MidpointDevice",
+    "MinimumDevice",
+    "OffsetEnvelope",
+    "PhaseKingDevice",
+    "RelayFireDevice",
+    "RelayNodeDevice",
+    "RelayedAgreementDevice",
+    "ReliableBroadcastDevice",
+    "reliable_broadcast_devices",
+    "authenticated_consensus_devices",
+    "dlpsw_devices",
+    "eig_devices",
+    "fault_tolerant_midpoint",
+    "fire_round_of",
+    "firing_squad_devices",
+    "inexact_devices",
+    "max_logical_skew",
+    "phase_king_devices",
+    "relay_devices",
+    "rounds_for_target",
+    "sparse_agreement_devices",
+    "build_routing",
+    "sign",
+    "signed_core",
+    "signer_chain",
+    "transmission_rounds",
+    "trimmed_mean",
+    "weak_agreement_devices",
+]

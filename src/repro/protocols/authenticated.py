@@ -1,0 +1,260 @@
+"""Authenticated (signed-message) agreement — Dolev–Strong.
+
+The paper remarks (Section 2) that when the Fault axiom is
+"significantly weakened (say, by adding an unforgeable signature
+assumption), then consensus is possible [LSP, PSL]".  This module
+demonstrates that: with simulated unforgeable signatures, Byzantine
+broadcast and agreement work for **any** number of faults — even on
+the three-node graph where Theorem 1 forbids unauthenticated
+agreement.
+
+Signatures are simulated: a signature is a tagged tuple
+``("sig", signer, payload)`` and *unforgeability is an assumption on
+the adversary class* — the Byzantine devices used in tests may drop,
+reorder, or replay legitimately signed messages and may sign anything
+with their own key, but never fabricate another node's signature.
+(This is exactly how the signature assumption weakens the Fault axiom:
+the masquerading device ``F_A(E_1..E_d)`` generally *cannot exist*,
+because exhibiting another run's edge behavior would require forging
+the signatures embedded in it.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from ..graphs.graph import CommunicationGraph, GraphError, NodeId
+from ..runtime.sync.device import Message, NodeContext, PortLabel, State, SyncDevice
+
+Signed = tuple  # ("sig", signer, payload)
+
+
+def sign(signer: NodeId, payload: Any) -> Signed:
+    """Simulated signature; honest code only calls it with its own id."""
+    return ("sig", signer, payload)
+
+
+def signer_chain(message: Any) -> list[NodeId]:
+    """The signer ids of a nested signature chain, outermost first."""
+    chain = []
+    while (
+        isinstance(message, tuple)
+        and len(message) == 3
+        and message[0] == "sig"
+    ):
+        chain.append(message[1])
+        message = message[2]
+    return chain
+
+
+def signed_core(message: Any) -> Any:
+    """The innermost payload of a signature chain."""
+    while (
+        isinstance(message, tuple)
+        and len(message) == 3
+        and message[0] == "sig"
+    ):
+        message = message[2]
+    return message
+
+
+class DolevStrongBroadcastDevice(SyncDevice):
+    """Dolev–Strong Byzantine broadcast with a designated general.
+
+    Runs ``f + 1`` rounds; tolerates any ``f < n`` faults under the
+    signature assumption.  The general signs and broadcasts its input
+    in round 0; a node that first accepts a value with ``r`` valid
+    signatures in round ``r`` co-signs and forwards it.  After round
+    ``f + 1`` a node decides the unique accepted value, or the default
+    if it extracted zero or several values.
+    """
+
+    def __init__(
+        self,
+        my_id: NodeId,
+        general: NodeId,
+        max_faults: int,
+        default: Any = 0,
+    ) -> None:
+        self.my_id = my_id
+        self.general = general
+        self.f = max_faults
+        self.rounds = max_faults + 1
+        self.default = default
+
+    # State: (extracted_values, outbox_chains, decided)
+
+    def init_state(self, ctx: NodeContext) -> State:
+        if self.my_id == self.general:
+            chain = sign(self.my_id, ("value", ctx.input))
+            return (frozenset({ctx.input}), (chain,), None)
+        return (frozenset(), (), None)
+
+    def send(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> dict[PortLabel, Message]:
+        _extracted, outbox, _decided = state
+        if round_index >= self.rounds or not outbox:
+            return {}
+        return {port: tuple(outbox) for port in ctx.ports}
+
+    def _valid_chain(self, message: Any, round_index: int) -> bool:
+        chain = signer_chain(message)
+        core = signed_core(message)
+        if not (isinstance(core, tuple) and len(core) == 2 and core[0] == "value"):
+            return False
+        if len(chain) != round_index + 1:
+            return False
+        if len(set(chain)) != len(chain):
+            return False
+        if chain[-1] != self.general:
+            return False  # innermost signature must be the general's
+        if self.my_id in chain:
+            return False
+        return True
+
+    def transition(
+        self,
+        ctx: NodeContext,
+        state: State,
+        round_index: int,
+        inbox: Mapping[PortLabel, Message],
+    ) -> State:
+        extracted, _old_outbox, decided = state
+        if round_index >= self.rounds:
+            return state
+        extracted = set(extracted)
+        outbox = []
+        for _sender, payload in sorted(
+            inbox.items(), key=lambda kv: str(kv[0])
+        ):
+            if payload is None or not isinstance(payload, tuple):
+                continue
+            for message in payload:
+                if not self._valid_chain(message, round_index):
+                    continue
+                value = signed_core(message)[1]
+                if value not in extracted:
+                    extracted.add(value)
+                    if len(extracted) <= 2 and round_index + 1 < self.rounds:
+                        outbox.append(sign(self.my_id, message))
+        if round_index == self.rounds - 1:
+            decided = (
+                next(iter(extracted))
+                if len(extracted) == 1
+                else self.default
+            )
+        return (frozenset(extracted), tuple(outbox), decided)
+
+    def choose(self, ctx: NodeContext, state: State) -> Any | None:
+        return state[2]
+
+
+class AuthenticatedConsensusDevice(SyncDevice):
+    """Byzantine agreement from ``n`` parallel Dolev–Strong broadcasts.
+
+    Every node acts as the general of its own broadcast instance; after
+    all instances finish, each node decides the majority of the
+    broadcast outcomes (including its own input for its own instance).
+    Agreement holds because every instance ends consistently at all
+    correct nodes; validity holds because correct instances deliver
+    their generals' inputs, and correct generals are a majority when
+    ``f < n/2`` (agreement alone holds for any ``f < n``).
+    """
+
+    def __init__(
+        self,
+        my_id: NodeId,
+        all_ids: Sequence[NodeId],
+        max_faults: int,
+        default: Any = 0,
+    ) -> None:
+        self.my_id = my_id
+        self.all_ids = tuple(all_ids)
+        self.f = max_faults
+        self.default = default
+        self._instances = {
+            general: DolevStrongBroadcastDevice(
+                my_id, general, max_faults, default
+            )
+            for general in all_ids
+        }
+        self.rounds = max_faults + 1
+
+    def init_state(self, ctx: NodeContext) -> State:
+        states = {
+            general: device.init_state(ctx)
+            for general, device in self._instances.items()
+        }
+        return (states, None)
+
+    def send(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> dict[PortLabel, Message]:
+        states, _decided = state
+        out: dict[PortLabel, dict] = {port: {} for port in ctx.ports}
+        for general, device in self._instances.items():
+            sub = device.send(ctx, states[general], round_index)
+            for port, message in sub.items():
+                out[port][general] = message
+        return {
+            port: tuple(sorted(bundle.items(), key=lambda kv: str(kv[0])))
+            for port, bundle in out.items()
+            if bundle
+        }
+
+    def transition(
+        self,
+        ctx: NodeContext,
+        state: State,
+        round_index: int,
+        inbox: Mapping[PortLabel, Message],
+    ) -> State:
+        states, decided = state
+        new_states = {}
+        for general, device in self._instances.items():
+            sub_inbox = {}
+            for port, payload in inbox.items():
+                entry = None
+                if isinstance(payload, tuple):
+                    entry = dict(payload).get(general)
+                sub_inbox[port] = entry
+            new_states[general] = device.transition(
+                ctx, states[general], round_index, sub_inbox
+            )
+        if round_index == self.rounds - 1:
+            outcomes = []
+            for general, device in self._instances.items():
+                sub_decision = device.choose(ctx, new_states[general])
+                outcomes.append(sub_decision)
+            tally: dict[Any, int] = {}
+            for value in outcomes:
+                tally[value] = tally.get(value, 0) + 1
+            best = max(tally.values())
+            winners = sorted(
+                (v for v, c in tally.items() if c == best), key=repr
+            )
+            decided = (
+                self.default
+                if self.default in winners or len(winners) > 1
+                else winners[0]
+            )
+        return (new_states, decided)
+
+    def choose(self, ctx: NodeContext, state: State) -> Any | None:
+        return state[1]
+
+
+def authenticated_consensus_devices(
+    graph: CommunicationGraph, max_faults: int, default: Any = 0
+) -> dict[NodeId, AuthenticatedConsensusDevice]:
+    """Signed-message agreement devices — valid for **any** ``f < n``,
+    including inadequate graphs (the whole point)."""
+    if not graph.is_complete():
+        raise GraphError("this implementation assumes a complete graph")
+    roster = tuple(graph.nodes)
+    return {
+        u: AuthenticatedConsensusDevice(u, roster, max_faults, default)
+        for u in graph.nodes
+    }

@@ -1,0 +1,86 @@
+"""FloodSet consensus under crash faults — the Fault axiom's foil.
+
+The paper closes by crediting its bounds to "the uncertainty introduced
+by the presence of Byzantine faults": the Fault axiom's masquerade is
+what powers every covering argument.  Weaken the failure model to
+*crashes* (a faulty node behaves honestly until it stops, possibly
+mid-round) and the bounds collapse: FloodSet reaches agreement on any
+complete graph with ``n >= f + 1`` nodes in ``f + 1`` rounds — three
+nodes, one crash, no problem, exactly where Theorem 1 forbids a
+Byzantine-tolerant solution.
+
+Each round every node broadcasts the set of input values it has seen;
+after ``f + 1`` rounds at least one round was crash-free, so all
+correct nodes hold the same set and decide by the same rule (min, with
+a default for the empty set).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from ..graphs.graph import CommunicationGraph, GraphError, NodeId
+from ..runtime.sync.device import Message, NodeContext, PortLabel, State, SyncDevice
+
+
+class FloodSetDevice(SyncDevice):
+    """Crash-tolerant consensus by value-set flooding."""
+
+    def __init__(self, max_faults: int, default: Any = 0) -> None:
+        if max_faults < 0:
+            raise GraphError("max_faults must be non-negative")
+        self.f = max_faults
+        self.rounds = max_faults + 1
+        self.default = default
+
+    # State: (seen_values, decided)
+
+    def init_state(self, ctx: NodeContext) -> State:
+        return (frozenset({ctx.input}), None)
+
+    def send(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> dict[PortLabel, Message]:
+        seen, _decided = state
+        if round_index >= self.rounds:
+            return {}
+        payload = tuple(sorted(seen, key=repr))
+        return {port: payload for port in ctx.ports}
+
+    def transition(
+        self,
+        ctx: NodeContext,
+        state: State,
+        round_index: int,
+        inbox: Mapping[PortLabel, Message],
+    ) -> State:
+        seen, decided = state
+        if round_index >= self.rounds:
+            return state
+        merged = set(seen)
+        for payload in inbox.values():
+            if isinstance(payload, tuple):
+                merged.update(payload)
+        seen = frozenset(merged)
+        if round_index == self.rounds - 1:
+            decided = (
+                min(seen, key=repr) if seen else self.default
+            )
+        return (seen, decided)
+
+    def choose(self, ctx: NodeContext, state: State) -> Any | None:
+        return state[1]
+
+
+def floodset_devices(
+    graph: CommunicationGraph, max_faults: int, default: Any = 0
+) -> dict[NodeId, FloodSetDevice]:
+    """FloodSet devices; requires only ``n >= f + 1`` on a complete
+    graph — far below the Byzantine ``3f + 1``, because crash faults
+    cannot masquerade (no Fault axiom, no covering argument)."""
+    if not graph.is_complete():
+        raise GraphError("FloodSet assumes a complete graph")
+    if len(graph) < max_faults + 1:
+        raise GraphError("need at least f + 1 nodes")
+    return {u: FloodSetDevice(max_faults, default) for u in graph.nodes}

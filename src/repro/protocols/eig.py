@@ -1,0 +1,166 @@
+"""Exponential Information Gathering (EIG) Byzantine agreement
+[PSL 1980 / LSP 1982], the classical matching upper bound for the
+paper's ``3f + 1`` node lower bound.
+
+On a complete graph with ``n >= 3f + 1`` nodes, EIG reaches Byzantine
+agreement in ``f + 1`` rounds against any ``f`` Byzantine nodes.  Each
+node relays everything it has heard every round, building a tree of
+claims ``"j_r said that ... j_1's input is v"`` indexed by paths of
+distinct node ids; decisions resolve the tree bottom-up by majority.
+
+Unlike the covering-refutation candidates, protocol devices know their
+own identity (``my_id``) and the full roster — identities are part of
+the problem setup for agreement algorithms, and adequate-graph
+protocols are never installed in coverings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from ..graphs.graph import CommunicationGraph, GraphError, NodeId
+from ..runtime.sync.device import Message, NodeContext, PortLabel, State, SyncDevice
+
+Path = tuple[Any, ...]
+
+
+class EIGDevice(SyncDevice):
+    """One node's EIG state machine.
+
+    Parameters
+    ----------
+    my_id:
+        This node's identity (must equal its port label at peers).
+    all_ids:
+        The full roster, in canonical order shared by all nodes.
+    max_faults:
+        The bound ``f``; the protocol runs ``f + 1`` rounds.
+    default:
+        Tie-breaking / missing-value default.
+    """
+
+    def __init__(
+        self,
+        my_id: NodeId,
+        all_ids: Sequence[NodeId],
+        max_faults: int,
+        default: Any = 0,
+    ) -> None:
+        if my_id not in all_ids:
+            raise GraphError("my_id must appear in the roster")
+        self.my_id = my_id
+        self.all_ids = tuple(all_ids)
+        self.f = max_faults
+        self.default = default
+        self.rounds = max_faults + 1
+
+    # State: (tree, decided) with tree a dict from paths to values.
+
+    def init_state(self, ctx: NodeContext) -> State:
+        return ({(): ctx.input}, None)
+
+    def _level_entries(self, tree: Mapping[Path, Any], level: int) -> dict:
+        return {path: v for path, v in tree.items() if len(path) == level}
+
+    def send(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> dict[PortLabel, Message]:
+        tree, _decided = state
+        if round_index >= self.rounds:
+            return {}
+        payload = tuple(
+            sorted(
+                self._level_entries(tree, round_index).items(),
+                key=lambda kv: tuple(map(str, kv[0])),
+            )
+        )
+        return {port: payload for port in ctx.ports}
+
+    def transition(
+        self,
+        ctx: NodeContext,
+        state: State,
+        round_index: int,
+        inbox: Mapping[PortLabel, Message],
+    ) -> State:
+        tree, decided = state
+        if round_index >= self.rounds:
+            return state
+        tree = dict(tree)
+        # Own relays: "I said that <path>" — known without a message.
+        for path, value in self._level_entries(tree, round_index).items():
+            if self.my_id not in path:
+                tree[path + (self.my_id,)] = value
+        for sender, payload in inbox.items():
+            if payload is None:
+                continue
+            if not self._well_formed(payload, round_index):
+                continue  # garbage from a faulty node: ignore
+            for path, value in payload:
+                if sender not in path and len(path) == round_index:
+                    tree[tuple(path) + (sender,)] = value
+        if round_index == self.rounds - 1:
+            decided = self._resolve(tree, ())
+        return (tree, decided)
+
+    def choose(self, ctx: NodeContext, state: State) -> Any | None:
+        return state[1]
+
+    # -- helpers -----------------------------------------------------------
+
+    def _well_formed(self, payload: Any, level: int) -> bool:
+        if not isinstance(payload, tuple):
+            return False
+        for entry in payload:
+            if not (isinstance(entry, tuple) and len(entry) == 2):
+                return False
+            path = entry[0]
+            if not isinstance(path, tuple) or len(path) != level:
+                return False
+            if len(set(path)) != len(path):
+                return False
+        return True
+
+    def _resolve(self, tree: Mapping[Path, Any], path: Path) -> Any:
+        """Bottom-up majority resolution (``newval`` in Lynch's book)."""
+        if len(path) == self.rounds:
+            return tree.get(path, self.default)
+        children = [
+            self._resolve(tree, path + (q,))
+            for q in self.all_ids
+            if q not in path
+        ]
+        return _strict_majority(children, self.default)
+
+
+def _strict_majority(values: Sequence[Any], default: Any) -> Any:
+    tally: dict[Any, int] = {}
+    for v in values:
+        tally[v] = tally.get(v, 0) + 1
+    for value, count in tally.items():
+        if count * 2 > len(values):
+            return value
+    return default
+
+
+def eig_devices(
+    graph: CommunicationGraph, max_faults: int, default: Any = 0
+) -> dict[NodeId, EIGDevice]:
+    """An EIG device per node of a complete graph."""
+    if not graph.is_complete():
+        raise GraphError(
+            "EIG requires a complete graph; relay over vertex-disjoint "
+            "paths (protocols.dolev_relay) extends it to 2f+1-connected "
+            "graphs"
+        )
+    if len(graph) < 3 * max_faults + 1:
+        raise GraphError(
+            f"EIG requires n >= 3f+1 (= {3 * max_faults + 1}); "
+            f"got n = {len(graph)} — and the core engines prove no "
+            "protocol can do better"
+        )
+    roster = tuple(graph.nodes)
+    return {
+        u: EIGDevice(u, roster, max_faults, default) for u in graph.nodes
+    }

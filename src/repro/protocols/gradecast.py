@@ -1,0 +1,141 @@
+"""Gradecast (graded broadcast), after Feldman–Micali.
+
+A dealer distributes a value; each node outputs a pair
+``(value, grade)`` with grade ∈ {0, 1, 2} such that, with ``f``
+Byzantine nodes and ``n >= 3f + 1``:
+
+* graded consistency — if any correct node outputs grade 2, every
+  correct node outputs the same value with grade >= 1;
+* soundness — correct nodes with grade >= 1 agree on the value;
+* validity — a correct dealer's value is output by all correct nodes
+  with grade 2.
+
+Grades let higher-level protocols distinguish "everyone saw this" from
+"someone saw this" — the stepping stone from broadcast to agreement.
+Three synchronous rounds: DEAL, ECHO, VOTE.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from ..graphs.graph import CommunicationGraph, GraphError, NodeId
+from ..runtime.sync.device import Message, NodeContext, PortLabel, State, SyncDevice
+
+
+class GradecastDevice(SyncDevice):
+    """One node's role in a single gradecast instance."""
+
+    def __init__(
+        self, my_id: NodeId, dealer: NodeId, n_nodes: int, max_faults: int
+    ) -> None:
+        if n_nodes < 3 * max_faults + 1:
+            raise GraphError("gradecast requires n >= 3f+1")
+        self.my_id = my_id
+        self.dealer = dealer
+        self.n = n_nodes
+        self.f = max_faults
+        self.rounds = 3
+
+    # State: (dealt, echoes, votes, output)
+    # echoes / votes: tuples of (peer, value); output: (value, grade).
+
+    def init_state(self, ctx: NodeContext) -> State:
+        return (None, (), (), None)
+
+    def send(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> dict[PortLabel, Message]:
+        dealt, echoes, _votes, _output = state
+        out: dict[PortLabel, Message] = {}
+        if round_index == 0 and self.my_id == self.dealer:
+            for port in ctx.ports:
+                out[port] = ("DEAL", ctx.input)
+        elif round_index == 1 and dealt is not None:
+            for port in ctx.ports:
+                out[port] = ("ECHO", dealt)
+        elif round_index == 2:
+            majority = self._echo_majority(echoes, dealt)
+            if majority is not None:
+                for port in ctx.ports:
+                    out[port] = ("VOTE", majority)
+        return out
+
+    def _count(self, observations, value) -> int:
+        return sum(1 for _, v in observations if v == value)
+
+    def _echo_majority(self, echoes, dealt) -> Any | None:
+        """A value echoed by at least n - f nodes (self included)."""
+        pool = list(echoes)
+        if dealt is not None:
+            pool.append((self.my_id, dealt))
+        for value in sorted({v for _, v in pool}, key=repr):
+            if self._count(pool, value) >= self.n - self.f:
+                return value
+        return None
+
+    def transition(
+        self,
+        ctx: NodeContext,
+        state: State,
+        round_index: int,
+        inbox: Mapping[PortLabel, Message],
+    ) -> State:
+        dealt, echoes, votes, output = state
+        echoes = list(echoes)
+        votes = list(votes)
+        for peer, message in sorted(
+            inbox.items(), key=lambda kv: str(kv[0])
+        ):
+            if not (isinstance(message, tuple) and len(message) == 2):
+                continue
+            kind, value = message
+            if kind == "DEAL" and peer == self.dealer and round_index == 0:
+                if dealt is None:
+                    dealt = value
+            elif kind == "ECHO" and round_index == 1:
+                if all(p != peer for p, _ in echoes):
+                    echoes.append((peer, value))
+            elif kind == "VOTE" and round_index == 2:
+                if all(p != peer for p, _ in votes):
+                    votes.append((peer, value))
+        if self.my_id == self.dealer and round_index == 0:
+            dealt = ctx.input
+        if round_index == 2 and output is None:
+            pool = list(votes)
+            own_vote = self._echo_majority(echoes, dealt)
+            if own_vote is not None:
+                pool.append((self.my_id, own_vote))
+            output = self._grade(pool)
+        return (dealt, tuple(echoes), tuple(votes), output)
+
+    def _grade(self, vote_pool) -> tuple[Any, int]:
+        best_value, best_count = None, 0
+        for value in sorted({v for _, v in vote_pool}, key=repr):
+            count = self._count(vote_pool, value)
+            if count > best_count:
+                best_value, best_count = value, count
+        if best_count >= self.n - self.f:
+            return (best_value, 2)
+        if best_count >= self.f + 1:
+            return (best_value, 1)
+        return (None, 0)
+
+    def choose(self, ctx: NodeContext, state: State) -> Any | None:
+        return state[3]
+
+
+def gradecast_devices(
+    graph: CommunicationGraph, dealer: NodeId, max_faults: int
+) -> tuple[dict[NodeId, GradecastDevice], int]:
+    """Gradecast devices plus the round count (always 3)."""
+    if not graph.is_complete():
+        raise GraphError("this implementation assumes a complete graph")
+    if dealer not in graph:
+        raise GraphError(f"dealer {dealer!r} not in graph")
+    devices = {
+        u: GradecastDevice(u, dealer, len(graph), max_faults)
+        for u in graph.nodes
+    }
+    return devices, 3

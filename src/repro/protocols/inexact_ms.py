@@ -1,0 +1,99 @@
+"""Inexact agreement after Mahaney–Schneider [MS], the positive
+counterpart of Theorem 6's (ε, δ, γ)-agreement.
+
+The fault-tolerant midpoint: each round a node collects all values,
+discards the ``f`` lowest and ``f`` highest, and moves to the midpoint
+of the surviving range.  With ``n >= 3f + 1`` this contracts the
+spread of correct values by a factor of 2 per round while never
+leaving the correct range (γ-validity with γ as small as you like),
+so ``⌈log₂(δ/ε)⌉`` rounds achieve (ε, δ, γ)-agreement for any
+``ε < δ`` — on *adequate* graphs.  Theorem 6's engine shows the same
+task is impossible with three nodes and one fault.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from typing import Any
+
+from ..graphs.graph import CommunicationGraph, GraphError, NodeId
+from ..runtime.sync.device import Message, NodeContext, PortLabel, State, SyncDevice
+
+
+def fault_tolerant_midpoint(values: list[float], trim: int) -> float:
+    """Midpoint of the range surviving f-trimming."""
+    if len(values) <= 2 * trim:
+        raise GraphError("not enough values to trim")
+    kept = sorted(values)[trim : len(values) - trim]
+    return (kept[0] + kept[-1]) / 2.0
+
+
+def rounds_for_target(delta: float, epsilon: float) -> int:
+    """Rounds of halving needed to bring a spread of δ below ε."""
+    if epsilon >= delta:
+        return 1
+    return max(1, math.ceil(math.log2(delta / epsilon)))
+
+
+class InexactAgreementDevice(SyncDevice):
+    """Mahaney–Schneider-style iterated fault-tolerant midpoint."""
+
+    def __init__(self, max_faults: int, rounds: int) -> None:
+        if rounds < 1:
+            raise GraphError("need at least one round")
+        self.f = max_faults
+        self.rounds = rounds
+
+    def init_state(self, ctx: NodeContext) -> State:
+        return (float(ctx.input), None)
+
+    def send(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> dict[PortLabel, Message]:
+        value, _decided = state
+        if round_index >= self.rounds:
+            return {}
+        return {port: value for port in ctx.ports}
+
+    def transition(
+        self,
+        ctx: NodeContext,
+        state: State,
+        round_index: int,
+        inbox: Mapping[PortLabel, Message],
+    ) -> State:
+        value, decided = state
+        if round_index >= self.rounds:
+            return state
+        pool = [value]
+        for port in ctx.ports:
+            raw = inbox.get(port)
+            pool.append(float(raw) if isinstance(raw, (int, float)) else value)
+        value = fault_tolerant_midpoint(pool, self.f)
+        if round_index == self.rounds - 1:
+            decided = value
+        return (value, decided)
+
+    def choose(self, ctx: NodeContext, state: State) -> Any | None:
+        return state[1]
+
+
+def inexact_devices(
+    graph: CommunicationGraph,
+    max_faults: int,
+    epsilon: float,
+    delta: float,
+) -> dict[NodeId, InexactAgreementDevice]:
+    """Devices achieving (ε, δ, γ)-agreement on an adequate complete
+    graph, for any positive γ."""
+    if not graph.is_complete():
+        raise GraphError("this implementation assumes a complete graph")
+    if len(graph) < 3 * max_faults + 1:
+        raise GraphError(
+            f"inexact agreement requires n >= 3f+1 = {3 * max_faults + 1}"
+        )
+    rounds = rounds_for_target(delta, epsilon)
+    return {
+        u: InexactAgreementDevice(max_faults, rounds) for u in graph.nodes
+    }

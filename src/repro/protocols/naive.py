@@ -1,0 +1,124 @@
+"""Naive consensus devices — the engines' favorite victims.
+
+These are honest, reasonable-looking devices that *do* solve their
+problems in favorable settings (no faults, or small spreads) and are
+exactly the kind of candidate the impossibility engines exist to
+refute on inadequate graphs.  They are also building blocks for the
+examples and benchmarks.
+
+All of them follow the same simple shape: gossip values for a number
+of rounds, then decide by some aggregation rule.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections.abc import Mapping
+from typing import Any
+
+from ..runtime.sync.device import Message, NodeContext, PortLabel, State, SyncDevice
+
+
+class FloodValueDevice(SyncDevice):
+    """Shared machinery: broadcast own input, collect one value per
+    port for ``rounds`` rounds (re-broadcasting own input each round),
+    then decide with :meth:`aggregate`.
+
+    State: ``(values_seen, decided_value_or_None)`` where
+    ``values_seen`` is a tuple of (port, round, value) observations.
+    """
+
+    def __init__(self, rounds: int = 1) -> None:
+        if rounds < 1:
+            raise ValueError("need at least one exchange round")
+        self.rounds = rounds
+
+    def init_state(self, ctx: NodeContext) -> State:
+        return ((), None)
+
+    def send(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> dict[PortLabel, Message]:
+        if round_index >= self.rounds:
+            return {}
+        return {port: ctx.input for port in ctx.ports}
+
+    def transition(
+        self,
+        ctx: NodeContext,
+        state: State,
+        round_index: int,
+        inbox: Mapping[PortLabel, Message],
+    ) -> State:
+        seen, decided = state
+        if round_index < self.rounds:
+            observations = tuple(
+                (port, round_index, inbox[port])
+                for port in ctx.ports
+                if inbox.get(port) is not None
+            )
+            seen = seen + observations
+        if round_index == self.rounds - 1 and decided is None:
+            decided = self.aggregate(ctx, [value for _, _, value in seen])
+        return (seen, decided)
+
+    def choose(self, ctx: NodeContext, state: State) -> Any | None:
+        return state[1]
+
+    def aggregate(self, ctx: NodeContext, values: list[Any]) -> Any:
+        raise NotImplementedError
+
+
+class MajorityVoteDevice(FloodValueDevice):
+    """Broadcast the input once; decide the majority of all values seen
+    (own input included), breaking ties toward ``default``."""
+
+    def __init__(self, default: Any = 0, rounds: int = 1) -> None:
+        super().__init__(rounds)
+        self.default = default
+
+    def aggregate(self, ctx: NodeContext, values: list[Any]) -> Any:
+        tally: dict[Any, int] = {}
+        for value in [ctx.input, *values]:
+            tally[value] = tally.get(value, 0) + 1
+        best = max(tally.values())
+        winners = sorted(
+            (v for v, count in tally.items() if count == best), key=repr
+        )
+        if len(winners) == 1:
+            return winners[0]
+        return self.default if self.default in winners else winners[0]
+
+
+class MidpointDevice(FloodValueDevice):
+    """Broadcast the input once; decide the midpoint of the extremes of
+    all values seen — a natural simple-approximate-agreement attempt."""
+
+    def aggregate(self, ctx: NodeContext, values: list[Any]) -> float:
+        everything = [float(ctx.input), *map(float, values)]
+        return (min(everything) + max(everything)) / 2.0
+
+
+class MedianDevice(FloodValueDevice):
+    """Broadcast the input once; decide the median of all values seen —
+    a natural (ε,δ,γ)-agreement attempt."""
+
+    def aggregate(self, ctx: NodeContext, values: list[Any]) -> float:
+        everything = [float(ctx.input), *map(float, values)]
+        return float(statistics.median(everything))
+
+
+class EchoInputDevice(FloodValueDevice):
+    """Decides its own input, ignoring everyone — trivially solves
+    (ε,δ,γ)-agreement when ``ε >= δ`` and nothing else."""
+
+    def aggregate(self, ctx: NodeContext, values: list[Any]) -> Any:
+        return ctx.input
+
+
+class MinimumDevice(FloodValueDevice):
+    """Broadcast once; decide the minimum value seen (a crash-tolerant
+    rule that Byzantine faults demolish)."""
+
+    def aggregate(self, ctx: NodeContext, values: list[Any]) -> Any:
+        return min([ctx.input, *values], key=lambda v: (repr(type(v)), v))

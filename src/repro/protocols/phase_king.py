@@ -1,0 +1,111 @@
+"""Phase-king Byzantine agreement (Berman–Garay–Perry family).
+
+A polynomial-message alternative to EIG: ``f + 1`` phases of two
+rounds each.  In each phase every node broadcasts its preference and
+takes the majority; the phase's *king* then broadcasts its own
+preference, which nodes adopt unless their majority was overwhelming
+(``> n/2 + f``).  Any phase whose king is correct aligns all correct
+nodes, and an aligned system stays aligned; with ``f + 1`` phases some
+king is correct.
+
+This simple two-round variant requires ``n > 4f`` (the three-round
+variant achieves ``n > 3f``; EIG already witnesses tightness of the
+paper's bound, so we keep the textbook version).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from ..graphs.graph import CommunicationGraph, GraphError, NodeId
+from ..runtime.sync.device import Message, NodeContext, PortLabel, State, SyncDevice
+
+
+class PhaseKingDevice(SyncDevice):
+    """One node's phase-king state machine (binary values)."""
+
+    def __init__(
+        self, my_id: NodeId, all_ids: Sequence[NodeId], max_faults: int
+    ) -> None:
+        if my_id not in all_ids:
+            raise GraphError("my_id must appear in the roster")
+        self.my_id = my_id
+        self.all_ids = tuple(all_ids)
+        self.f = max_faults
+        self.n = len(all_ids)
+        self.phases = max_faults + 1
+        self.total_rounds = 2 * self.phases
+
+    def king_of_phase(self, phase: int) -> NodeId:
+        return self.all_ids[phase % self.n]
+
+    # State: (preference, majority, multiplicity, decided)
+
+    def init_state(self, ctx: NodeContext) -> State:
+        return (1 if ctx.input else 0, None, 0, None)
+
+    def send(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> dict[PortLabel, Message]:
+        preference, majority, _mult, _decided = state
+        if round_index >= self.total_rounds:
+            return {}
+        phase, step = divmod(round_index, 2)
+        if step == 0:
+            return {port: preference for port in ctx.ports}
+        if self.king_of_phase(phase) == self.my_id:
+            return {port: majority for port in ctx.ports}
+        return {}
+
+    def transition(
+        self,
+        ctx: NodeContext,
+        state: State,
+        round_index: int,
+        inbox: Mapping[PortLabel, Message],
+    ) -> State:
+        preference, majority, mult, decided = state
+        if round_index >= self.total_rounds:
+            return state
+        phase, step = divmod(round_index, 2)
+        if step == 0:
+            votes = [preference]
+            votes.extend(
+                1 if inbox.get(port) else 0 for port in ctx.ports
+            )
+            ones = sum(votes)
+            zeros = len(votes) - ones
+            majority = 1 if ones >= zeros else 0
+            mult = max(ones, zeros)
+            return (preference, majority, mult, decided)
+        king = self.king_of_phase(phase)
+        if king == self.my_id:
+            king_value = majority
+        else:
+            raw = inbox.get(king)
+            king_value = 1 if raw else 0
+        if mult > self.n // 2 + self.f:
+            preference = majority
+        else:
+            preference = king_value
+        if phase == self.phases - 1:
+            decided = preference
+        return (preference, majority, mult, decided)
+
+    def choose(self, ctx: NodeContext, state: State) -> Any | None:
+        return state[3]
+
+
+def phase_king_devices(
+    graph: CommunicationGraph, max_faults: int
+) -> dict[NodeId, PhaseKingDevice]:
+    """A phase-king device per node of a complete graph (n > 4f)."""
+    if not graph.is_complete():
+        raise GraphError("phase king requires a complete graph")
+    if len(graph) <= 4 * max_faults:
+        raise GraphError(
+            f"this phase-king variant requires n > 4f; got n = {len(graph)}"
+        )
+    roster = tuple(graph.nodes)
+    return {u: PhaseKingDevice(u, roster, max_faults) for u in graph.nodes}

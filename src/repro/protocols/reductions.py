@@ -1,0 +1,101 @@
+"""Reductions between the paper's problems on adequate graphs.
+
+* Weak agreement from Byzantine agreement: strong validity implies
+  weak validity, so any BA device family (EIG) solves weak agreement —
+  on adequate graphs.
+* Byzantine firing squad from Byzantine agreement ([BL]/[CDDS]
+  direction): agree on whether any stimulus occurred; if the agreed
+  bit is 1, everyone enters FIRE at the same fixed round.  In the
+  synchronous model rounds are simultaneous by definition, so the fire
+  times coincide exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from ..graphs.graph import CommunicationGraph, GraphError, NodeId
+from ..runtime.sync.behavior import SyncBehavior
+from ..runtime.sync.device import Message, NodeContext, PortLabel, State, SyncDevice
+from .eig import eig_devices
+
+
+def weak_agreement_devices(
+    graph: CommunicationGraph, max_faults: int, default: Any = 0
+) -> dict[NodeId, SyncDevice]:
+    """Weak agreement on an adequate complete graph = EIG."""
+    return dict(eig_devices(graph, max_faults, default))
+
+
+class FiringSquadFromAgreementDevice(SyncDevice):
+    """Firing squad via agreement on the stimulus bit.
+
+    Wraps an agreement device; once the agreement decides 1, schedules
+    FIRE for the fixed round ``fire_round`` (after the agreement's
+    worst-case decision round, so all correct nodes fire together).
+
+    The FIRE state is modeled in-state: :func:`fire_round_of` reads the
+    round at which a node entered it.
+    """
+
+    def __init__(self, agreement: SyncDevice, fire_round: int) -> None:
+        self.agreement = agreement
+        self.fire_round = fire_round
+
+    def init_state(self, ctx: NodeContext) -> State:
+        return (self.agreement.init_state(ctx), None)
+
+    def send(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> Mapping[PortLabel, Message]:
+        inner, _fired_at = state
+        return self.agreement.send(ctx, inner, round_index)
+
+    def transition(
+        self,
+        ctx: NodeContext,
+        state: State,
+        round_index: int,
+        inbox: Mapping[PortLabel, Message],
+    ) -> State:
+        inner, fired_at = state
+        inner = self.agreement.transition(ctx, inner, round_index, inbox)
+        decision = self.agreement.choose(ctx, inner)
+        if (
+            fired_at is None
+            and decision == 1
+            and round_index + 1 >= self.fire_round
+        ):
+            fired_at = round_index + 1
+        return (inner, fired_at)
+
+    def choose(self, ctx: NodeContext, state: State) -> Any | None:
+        # The "decision" of a firing-squad device is whether it fired;
+        # the fire round is read via fire_round_of.
+        return None
+
+
+def firing_squad_devices(
+    graph: CommunicationGraph, max_faults: int
+) -> dict[NodeId, FiringSquadFromAgreementDevice]:
+    """Firing-squad devices for an adequate complete graph.
+
+    The fire round is ``f + 2``: EIG decides after round ``f + 1``, and
+    every correct node that agreed on "stimulated" fires at the next
+    round boundary simultaneously.
+    """
+    if len(graph) < 3 * max_faults + 1:
+        raise GraphError("firing squad from agreement needs n >= 3f+1")
+    agreement = eig_devices(graph, max_faults, default=0)
+    fire_round = max_faults + 2
+    return {
+        u: FiringSquadFromAgreementDevice(agreement[u], fire_round)
+        for u in graph.nodes
+    }
+
+
+def fire_round_of(behavior: SyncBehavior, node: NodeId) -> int | None:
+    """The round at which ``node`` entered the FIRE state, if any."""
+    final = behavior.node(node).states[-1]
+    return final[1]

@@ -1,0 +1,139 @@
+"""Reliable (Bracha-style) broadcast, round-synchronous form.
+
+Another face of the ``3f + 1`` bound: a designated sender broadcasts a
+value; despite ``f`` Byzantine nodes (possibly including the sender),
+
+* consistency — no two correct nodes accept different values;
+* totality — if any correct node accepts, every correct node accepts;
+* validity — a correct sender's value is accepted by all correct nodes.
+
+The echo/ready quorums (``⌈(n+f+1)/2⌉`` echoes, ``f + 1`` readies to
+amplify, ``2f + 1`` readies to accept) work exactly when ``n >= 3f+1``
+— the same threshold Theorem 1's engine proves necessary, via a
+different algorithmic lens than EIG's.
+
+Rounds: 0 = sender's SEND; 1 = ECHO; 2..R = READY gossip until
+acceptance stabilizes (``f + 3`` rounds suffice in this synchronous
+setting).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from ..graphs.graph import CommunicationGraph, GraphError, NodeId
+from ..runtime.sync.device import Message, NodeContext, PortLabel, State, SyncDevice
+
+
+class ReliableBroadcastDevice(SyncDevice):
+    """One node's role in a single-sender reliable broadcast."""
+
+    def __init__(
+        self, my_id: NodeId, sender: NodeId, n_nodes: int, max_faults: int
+    ) -> None:
+        if n_nodes < 3 * max_faults + 1:
+            raise GraphError("reliable broadcast requires n >= 3f+1")
+        self.my_id = my_id
+        self.sender = sender
+        self.n = n_nodes
+        self.f = max_faults
+        self.echo_quorum = (self.n + self.f) // 2 + 1
+        self.ready_amplify = self.f + 1
+        self.ready_accept = 2 * self.f + 1
+        self.rounds = max_faults + 3
+
+    # State: (echoes, readies, sent_echo, sent_ready, accepted)
+    # echoes / readies: tuples of (peer, value) pairs observed.
+
+    def init_state(self, ctx: NodeContext) -> State:
+        return ((), (), None, None, None)
+
+    def _count(self, observations, value) -> int:
+        return sum(1 for _, v in observations if v == value)
+
+    def _values(self, observations):
+        return {v for _, v in observations}
+
+    def send(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> dict[PortLabel, Message]:
+        echoes, readies, sent_echo, sent_ready, _accepted = state
+        out: dict[PortLabel, Message] = {}
+        if round_index == 0 and self.my_id == self.sender:
+            for port in ctx.ports:
+                out[port] = ("SEND", ctx.input)
+        elif round_index >= 1 and sent_echo is not None and round_index == 1:
+            for port in ctx.ports:
+                out[port] = ("ECHO", sent_echo)
+        elif round_index >= 2 and sent_ready is not None:
+            for port in ctx.ports:
+                out[port] = ("READY", sent_ready)
+        return out
+
+    def transition(
+        self,
+        ctx: NodeContext,
+        state: State,
+        round_index: int,
+        inbox: Mapping[PortLabel, Message],
+    ) -> State:
+        echoes, readies, sent_echo, sent_ready, accepted = state
+        echoes = list(echoes)
+        readies = list(readies)
+        for peer, message in sorted(
+            inbox.items(), key=lambda kv: str(kv[0])
+        ):
+            if not (isinstance(message, tuple) and len(message) == 2):
+                continue
+            kind, value = message
+            if kind == "SEND" and peer == self.sender and round_index == 0:
+                if sent_echo is None:
+                    sent_echo = value
+            elif kind == "ECHO":
+                if all(p != peer for p, _ in echoes):
+                    echoes.append((peer, value))
+            elif kind == "READY":
+                if all(p != peer for p, _ in readies):
+                    readies.append((peer, value))
+        # The sender echoes its own input implicitly.
+        if self.my_id == self.sender and round_index == 0:
+            sent_echo = ctx.input
+
+        if sent_ready is None:
+            for value in sorted(
+                self._values(echoes) | self._values(readies), key=repr
+            ):
+                own_echo = 1 if sent_echo == value else 0
+                if self._count(echoes, value) + own_echo >= self.echo_quorum:
+                    sent_ready = value
+                    break
+                if self._count(readies, value) >= self.ready_amplify:
+                    sent_ready = value
+                    break
+        if accepted is None and sent_ready is not None:
+            own_ready = 1
+            for value in sorted(self._values(readies) | {sent_ready}, key=repr):
+                own = own_ready if sent_ready == value else 0
+                if self._count(readies, value) + own >= self.ready_accept:
+                    accepted = value
+                    break
+        return (tuple(echoes), tuple(readies), sent_echo, sent_ready, accepted)
+
+    def choose(self, ctx: NodeContext, state: State) -> Any | None:
+        return state[4]
+
+
+def reliable_broadcast_devices(
+    graph: CommunicationGraph, sender: NodeId, max_faults: int
+) -> tuple[dict[NodeId, ReliableBroadcastDevice], int]:
+    """Devices plus the round count for one broadcast instance."""
+    if not graph.is_complete():
+        raise GraphError("this implementation assumes a complete graph")
+    if sender not in graph:
+        raise GraphError(f"sender {sender!r} not in graph")
+    devices = {
+        u: ReliableBroadcastDevice(u, sender, len(graph), max_faults)
+        for u in graph.nodes
+    }
+    return devices, max_faults + 3

@@ -1,0 +1,224 @@
+"""Byzantine agreement on sparse graphs: EIG over Dolev relay.
+
+Dolev's theorem (the paper's reference [D]) says Byzantine agreement
+is solvable iff ``n >= 3f + 1`` *and* ``c(G) >= 2f + 1`` — the exact
+pair of bounds FLM proves necessary.  This module supplies the
+sufficiency half for arbitrary adequate graphs: it runs any
+complete-graph agreement device (EIG by default) on a graph of
+connectivity ``2f + 1`` by expanding each logical round into enough
+physical rounds to relay every logical message over ``2f + 1``
+vertex-disjoint paths, taking majorities at the receiving end.
+
+At most ``f`` faulty nodes corrupt at most ``f`` of the ``2f + 1``
+paths between correct nodes, so every correct-to-correct logical
+message is delivered intact; faulty senders remain exactly as harmful
+as they are on the complete graph, which EIG already tolerates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from ..graphs.connectivity import vertex_disjoint_paths
+from ..graphs.graph import CommunicationGraph, GraphError, NodeId
+from ..runtime.sync.device import Message, NodeContext, PortLabel, State, SyncDevice
+from .eig import EIGDevice
+
+Path = tuple[NodeId, ...]
+RoutingTable = dict[tuple[NodeId, NodeId], tuple[Path, ...]]
+
+
+def build_routing(
+    graph: CommunicationGraph, max_faults: int
+) -> tuple[RoutingTable, int]:
+    """``2f + 1`` vertex-disjoint paths for every ordered node pair,
+    plus the physical-round span one logical round needs."""
+    needed = 2 * max_faults + 1
+    routing: RoutingTable = {}
+    span = 1
+    nodes = list(graph.nodes)
+    for i, s in enumerate(nodes):
+        for t in nodes[i + 1 :]:
+            paths = vertex_disjoint_paths(graph, s, t)
+            if len(paths) < needed:
+                raise GraphError(
+                    f"only {len(paths)} disjoint paths between {s!r} and "
+                    f"{t!r}; need {needed} (κ >= 2f + 1)"
+                )
+            chosen = tuple(tuple(p) for p in paths[:needed])
+            routing[(s, t)] = chosen
+            routing[(t, s)] = tuple(tuple(reversed(p)) for p in chosen)
+            span = max(span, max(len(p) - 1 for p in chosen))
+    return routing, span
+
+
+class RelayedAgreementDevice(SyncDevice):
+    """Runs a complete-graph device over disjoint-path relays.
+
+    Each logical round occupies ``span`` physical rounds: the logical
+    messages are injected on every path in the first physical round,
+    forwarded hop by hop, and folded into the logical inbox (majority
+    per source) at the end of the span.
+    """
+
+    def __init__(
+        self,
+        my_id: NodeId,
+        inner: SyncDevice,
+        roster: tuple[NodeId, ...],
+        routing: RoutingTable,
+        span: int,
+        logical_rounds: int,
+    ) -> None:
+        self.my_id = my_id
+        self.inner = inner
+        self.roster = tuple(roster)
+        self.peers = tuple(u for u in roster if u != my_id)
+        self.routing = routing
+        self.span = span
+        self.logical_rounds = logical_rounds
+
+    def _inner_ctx(self, ctx: NodeContext) -> NodeContext:
+        return NodeContext(ports=self.peers, input=ctx.input)
+
+    # State: (inner_state, pending, collected)
+    #   pending:   tuple of (next_hop, packet) to transmit next round
+    #   collected: tuple of ((source, path_id), value) for this span
+
+    def init_state(self, ctx: NodeContext) -> State:
+        inner_state = self.inner.init_state(self._inner_ctx(ctx))
+        return (inner_state, (), ())
+
+    def send(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> dict[PortLabel, Message]:
+        inner_state, pending, _collected = state
+        logical, sub = divmod(round_index, self.span)
+        out: dict[PortLabel, list] = {}
+        if sub == 0 and logical < self.logical_rounds:
+            inner_out = self.inner.send(
+                self._inner_ctx(ctx), inner_state, logical
+            )
+            for peer, value in inner_out.items():
+                for path_id, path in enumerate(
+                    self.routing[(self.my_id, peer)]
+                ):
+                    packet = ("pkt", logical, self.my_id, peer, path_id, 1, value)
+                    out.setdefault(path[1], []).append(packet)
+        for next_hop, packet in pending:
+            out.setdefault(next_hop, []).append(packet)
+        return {port: tuple(msgs) for port, msgs in out.items()}
+
+    def transition(
+        self,
+        ctx: NodeContext,
+        state: State,
+        round_index: int,
+        inbox: Mapping[PortLabel, Message],
+    ) -> State:
+        inner_state, _pending, collected = state
+        logical, sub = divmod(round_index, self.span)
+        new_pending: list[tuple[NodeId, Any]] = []
+        collected = list(collected)
+        for sender, bundle in sorted(
+            inbox.items(), key=lambda kv: str(kv[0])
+        ):
+            if not isinstance(bundle, tuple):
+                continue
+            for packet in bundle:
+                parsed = self._parse(packet, sender, logical)
+                if parsed is None:
+                    continue
+                source, target, path_id, hop, value = parsed
+                path = self.routing[(source, target)][path_id]
+                if target == self.my_id and hop == len(path) - 1:
+                    key = (source, path_id)
+                    if all(k != key for k, _ in collected):
+                        collected.append((key, value))
+                elif hop + 1 < len(path):
+                    forwarded = (
+                        "pkt", logical, source, target, path_id, hop + 1,
+                        value,
+                    )
+                    new_pending.append((path[hop + 1], forwarded))
+        if sub == self.span - 1 and logical < self.logical_rounds:
+            inner_inbox = {
+                peer: self._fold(collected, peer) for peer in self.peers
+            }
+            inner_state = self.inner.transition(
+                self._inner_ctx(ctx), inner_state, logical, inner_inbox
+            )
+            collected = []
+            new_pending = []
+        return (inner_state, tuple(new_pending), tuple(collected))
+
+    def choose(self, ctx: NodeContext, state: State) -> Any | None:
+        return self.inner.choose(self._inner_ctx(ctx), state[0])
+
+    # -- helpers -----------------------------------------------------------
+
+    def _parse(self, packet: Any, sender: NodeId, logical: int):
+        if not (
+            isinstance(packet, tuple)
+            and len(packet) == 7
+            and packet[0] == "pkt"
+        ):
+            return None
+        _tag, pkt_logical, source, target, path_id, hop, value = packet
+        if pkt_logical != logical:
+            return None  # stale or premature
+        paths = self.routing.get((source, target))
+        if paths is None or not isinstance(path_id, int):
+            return None
+        if not 0 <= path_id < len(paths):
+            return None
+        path = paths[path_id]
+        if not isinstance(hop, int) or not 1 <= hop < len(path):
+            return None
+        if path[hop] != self.my_id or path[hop - 1] != sender:
+            return None
+        return source, target, path_id, hop, value
+
+    def _fold(self, collected, peer: NodeId) -> Any:
+        """Majority over the per-path copies of one source's message
+        (keyed by repr, so unhashable garbage cannot crash the fold)."""
+        values = [v for (source, _pid), v in collected if source == peer]
+        if not values:
+            return None
+        tally: dict[str, tuple[int, Any]] = {}
+        for v in values:
+            key = repr(v)
+            count, _ = tally.get(key, (0, v))
+            tally[key] = (count + 1, v)
+        best = max(count for count, _ in tally.values())
+        winners = [v for count, v in tally.values() if count == best]
+        return winners[0] if len(winners) == 1 else None
+
+
+def sparse_agreement_devices(
+    graph: CommunicationGraph, max_faults: int, default: Any = 0
+) -> tuple[dict[NodeId, RelayedAgreementDevice], int]:
+    """EIG-over-relay devices for an adequate (possibly sparse) graph.
+
+    Returns the devices and the number of *physical* rounds to run
+    (``(f + 1) · span``).
+    """
+    n = len(graph)
+    if n < 3 * max_faults + 1:
+        raise GraphError(f"need n >= 3f+1 = {3 * max_faults + 1}")
+    routing, span = build_routing(graph, max_faults)
+    roster = tuple(graph.nodes)
+    logical_rounds = max_faults + 1
+    devices = {
+        u: RelayedAgreementDevice(
+            my_id=u,
+            inner=EIGDevice(u, roster, max_faults, default),
+            roster=roster,
+            routing=routing,
+            span=span,
+            logical_rounds=logical_rounds,
+        )
+        for u in roster
+    }
+    return devices, logical_rounds * span

@@ -1,0 +1,11 @@
+"""Operational models satisfying the paper's axioms.
+
+:mod:`repro.runtime.sync`
+    Synchronous rounds; satisfies the Locality and Fault axioms.
+    Hosts Theorems 1, 5, 6 and the round-based protocols.
+
+:mod:`repro.runtime.timed`
+    Continuous time with a minimum message delay and hardware clocks;
+    additionally satisfies the Bounded-Delay Locality and Scaling
+    axioms.  Hosts Theorems 2, 4, 8.
+"""

@@ -1,0 +1,327 @@
+"""The quotient-system construction of the paper's footnote 3.
+
+    "Given a system S and a partitioning of its communication graph G
+    into subgraphs, there is a natural construction of a new system
+    S', obtained by collapsing the subgraphs into single nodes.  The
+    devices in S' are the (indexed) sets of devices running in each
+    subgraph of G, [...] Then the devices and behaviors in S' satisfy
+    the Locality and Fault axioms if the underlying devices and
+    behaviors in S do."
+
+This module implements that construction operationally: a
+:class:`GroupDevice` runs an entire induced subsystem (several devices
+plus their internal edges) as one synchronous device, and
+:func:`collapse_system` rewrites a system over a node partition into
+the quotient system over supernodes.  The quotient's behavior projects
+exactly onto the original's — verified by :func:`verify_collapse` and
+the test suite — which yields the paper's alternative proof of the
+general ``n <= 3f`` bound by direct reduction to the ``f = 1``
+triangle case.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+from ...graphs.graph import CommunicationGraph, GraphError, NodeId
+from .behavior import SyncBehavior
+from .device import Message, NodeContext, PortLabel, State, SyncDevice
+from .system import NodeAssignment, SyncSystem
+
+
+class GroupDevice(SyncDevice):
+    """A set of devices (an induced subsystem) run as one pure device.
+
+    The group's state is the tuple of member states; each round the
+    group routes members' messages internally over the collapsed
+    edges and bundles boundary messages per supernode port.  Bundled
+    messages are dicts ``{(sender_member, receiver_member): message}``
+    so the receiving group can dispatch them to the right inboxes.
+
+    Member devices keep their original port labels **in their original
+    order**, so a member cannot tell it has been collapsed — which is
+    what makes the footnote's projection exact.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[NodeId],
+        member_devices: Mapping[NodeId, SyncDevice],
+        member_inputs: Mapping[NodeId, Any],
+        label_to_neighbor: Mapping[NodeId, Mapping[PortLabel, NodeId]],
+        port_of_group: Mapping[tuple[NodeId, NodeId], PortLabel],
+    ) -> None:
+        """
+        Parameters
+        ----------
+        members:
+            Member node ids, in a fixed order.
+        label_to_neighbor:
+            Per member, its original (ordered) port labeling: port
+            label -> the neighbor node id behind it, internal and
+            external alike.
+        port_of_group:
+            (member, external neighbor) -> the supernode port that
+            reaches that neighbor's group.
+        """
+        self.members = tuple(members)
+        self.member_set = frozenset(members)
+        self.devices = dict(member_devices)
+        self.inputs = dict(member_inputs)
+        self.label_to_neighbor = {
+            m: dict(ports) for m, ports in label_to_neighbor.items()
+        }
+        self.port_of_group = dict(port_of_group)
+        # Reverse lookup: the label `u` uses for neighbor `v`.
+        self.label_for: dict[tuple[NodeId, NodeId], PortLabel] = {}
+        for m, ports in self.label_to_neighbor.items():
+            for label, neighbor in ports.items():
+                self.label_for[(m, neighbor)] = label
+
+    def _member_input(self, member: NodeId, ctx: NodeContext):
+        """The member's input, resolved from the group's own input.
+
+        A per-member sequence assigns one value per member; any other
+        non-``None`` value is broadcast to all members (the paper:
+        "the inputs depicted for the sets of devices are assigned to
+        all the devices in the respective sets"); ``None`` falls back
+        to the inputs stored at collapse time.
+        """
+        if ctx.input is None:
+            return self.inputs[member]
+        if isinstance(ctx.input, (tuple, list)) and len(ctx.input) == len(
+            self.members
+        ):
+            return ctx.input[self.members.index(member)]
+        return ctx.input
+
+    def _member_context(self, member: NodeId, ctx: NodeContext) -> NodeContext:
+        return NodeContext(
+            ports=tuple(self.label_to_neighbor[member]),
+            input=self._member_input(member, ctx),
+        )
+
+    def _member_sends(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> dict[NodeId, Mapping[PortLabel, Message]]:
+        return {
+            m: self.devices[m].send(
+                self._member_context(m, ctx), member_state, round_index
+            )
+            for m, member_state in zip(self.members, state)
+        }
+
+    def init_state(self, ctx: NodeContext) -> State:
+        return tuple(
+            self.devices[m].init_state(self._member_context(m, ctx))
+            for m in self.members
+        )
+
+    def send(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> dict[PortLabel, Message]:
+        outbound: dict[PortLabel, dict] = {}
+        for m, out in self._member_sends(ctx, state, round_index).items():
+            for label, message in out.items():
+                neighbor = self.label_to_neighbor[m].get(label)
+                if neighbor is None or neighbor in self.member_set:
+                    continue  # unknown or internal; internal is routed
+                    # by the receiving side in transition
+                group_port = self.port_of_group[(m, neighbor)]
+                outbound.setdefault(group_port, {})[(m, neighbor)] = message
+        return outbound
+
+    def transition(
+        self,
+        ctx: NodeContext,
+        state: State,
+        round_index: int,
+        inbox: Mapping[PortLabel, Message],
+    ) -> State:
+        # Recompute members' sends: devices are pure, so this equals
+        # what `send` emitted this round.  Keeping no instance state
+        # lets one GroupDevice serve several covering nodes at once.
+        member_outputs = self._member_sends(ctx, state, round_index)
+        new_states = []
+        for m, member_state in zip(self.members, state):
+            mctx = self._member_context(m, ctx)
+            member_inbox: dict[PortLabel, Message] = {}
+            for label, neighbor in self.label_to_neighbor[m].items():
+                if neighbor in self.member_set:
+                    # Internal edge: deliver what the neighbor sent us.
+                    their_label = self.label_for[(neighbor, m)]
+                    member_inbox[label] = member_outputs[neighbor].get(
+                        their_label
+                    )
+                else:
+                    group_port = self.port_of_group[(m, neighbor)]
+                    bundle = inbox.get(group_port)
+                    member_inbox[label] = (
+                        bundle.get((neighbor, m))
+                        if isinstance(bundle, dict)
+                        else None
+                    )
+            new_states.append(
+                self.devices[m].transition(
+                    mctx, member_state, round_index, member_inbox
+                )
+            )
+        return tuple(new_states)
+
+    def choose(self, ctx: NodeContext, state: State) -> Any | None:
+        """The group's CHOOSE: the tuple of member decisions, or None
+        until every member has decided."""
+        decisions = []
+        for m, member_state in zip(self.members, state):
+            value = self.devices[m].choose(
+                self._member_context(m, ctx), member_state
+            )
+            if value is None:
+                return None
+            decisions.append((m, value))
+        return tuple(decisions)
+
+    def member_decision(
+        self, state: State, member: NodeId, ctx: NodeContext | None = None
+    ) -> Any | None:
+        index = self.members.index(member)
+        if ctx is None:
+            ctx = NodeContext(ports=(), input=None)
+        return self.devices[member].choose(
+            self._member_context(member, ctx), state[index]
+        )
+
+
+class PortRenamedDevice(SyncDevice):
+    """Adapter translating a device's port labels.
+
+    Used to install quotient :class:`GroupDevice`\\ s (whose ports are
+    named after supernodes) at nodes of another graph (e.g. the
+    triangle, for the footnote 3 reduction).  ``rename`` maps the
+    inner device's labels to the outer system's labels.
+    """
+
+    def __init__(
+        self, inner: SyncDevice, rename: Mapping[PortLabel, PortLabel]
+    ) -> None:
+        self.inner = inner
+        self.to_outer = dict(rename)
+        self.to_inner = {v: k for k, v in rename.items()}
+        if len(self.to_inner) != len(self.to_outer):
+            raise GraphError("port renaming must be a bijection")
+
+    def _inner_ctx(self, ctx: NodeContext) -> NodeContext:
+        return NodeContext(
+            ports=tuple(self.to_inner[p] for p in ctx.ports),
+            input=ctx.input,
+        )
+
+    def init_state(self, ctx: NodeContext) -> State:
+        return self.inner.init_state(self._inner_ctx(ctx))
+
+    def send(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> dict[PortLabel, Message]:
+        out = self.inner.send(self._inner_ctx(ctx), state, round_index)
+        return {self.to_outer[label]: msg for label, msg in out.items()}
+
+    def transition(
+        self,
+        ctx: NodeContext,
+        state: State,
+        round_index: int,
+        inbox: Mapping[PortLabel, Message],
+    ) -> State:
+        inner_inbox = {
+            self.to_inner[label]: msg for label, msg in inbox.items()
+        }
+        return self.inner.transition(
+            self._inner_ctx(ctx), state, round_index, inner_inbox
+        )
+
+    def choose(self, ctx: NodeContext, state: State) -> Any | None:
+        return self.inner.choose(self._inner_ctx(ctx), state)
+
+
+def collapse_system(
+    system: SyncSystem, partition: Sequence[Iterable[NodeId]]
+) -> tuple[SyncSystem, dict[NodeId, NodeId]]:
+    """Collapse a system over a node partition into its quotient.
+
+    Returns the quotient system and the map original node -> supernode.
+    Supernodes are named ``"group0", "group1", ...`` in partition
+    order.  Two supernodes are adjacent iff some members are.
+    """
+    graph = system.graph
+    groups = [tuple(dict.fromkeys(part)) for part in partition]
+    flat = [u for group in groups for u in group]
+    if len(flat) != len(set(flat)) or set(flat) != set(graph.nodes):
+        raise GraphError("partition must exactly cover the node set")
+
+    group_name = {i: f"group{i}" for i in range(len(groups))}
+    member_group: dict[NodeId, int] = {}
+    for i, group in enumerate(groups):
+        for u in group:
+            member_group[u] = i
+
+    super_edges = set()
+    for (u, v) in graph.edges:
+        gu, gv = member_group[u], member_group[v]
+        if gu != gv:
+            pair = sorted((gu, gv))
+            super_edges.add((group_name[pair[0]], group_name[pair[1]]))
+    quotient_graph = CommunicationGraph(
+        [group_name[i] for i in range(len(groups))],
+        sorted(super_edges, key=lambda e: (str(e[0]), str(e[1]))),
+    )
+
+    assignments = {}
+    for i, group in enumerate(groups):
+        label_to_neighbor: dict[NodeId, dict[PortLabel, NodeId]] = {}
+        port_of_group: dict[tuple[NodeId, NodeId], PortLabel] = {}
+        for u in group:
+            ports = system.assignments[u].port_of_neighbor
+            # Original order: iterate neighbors in their port order.
+            label_to_neighbor[u] = {
+                label: neighbor for neighbor, label in ports.items()
+            }
+            for neighbor, label in ports.items():
+                if member_group[neighbor] != i:
+                    port_of_group[(u, neighbor)] = group_name[
+                        member_group[neighbor]
+                    ]
+        device = GroupDevice(
+            members=group,
+            member_devices={u: system.device(u) for u in group},
+            member_inputs={u: system.input(u) for u in group},
+            label_to_neighbor=label_to_neighbor,
+            port_of_group=port_of_group,
+        )
+        name = group_name[i]
+        assignments[name] = NodeAssignment(
+            device=device,
+            input=tuple(system.input(u) for u in group),
+            port_of_neighbor={
+                v: v for v in quotient_graph.neighbors(name)
+            },
+        )
+    quotient = SyncSystem(quotient_graph, assignments)
+    return quotient, {u: group_name[g] for u, g in member_group.items()}
+
+
+def verify_collapse(
+    original: SyncBehavior,
+    quotient: SyncBehavior,
+    partition_order: Mapping[NodeId, Sequence[NodeId]],
+) -> bool:
+    """Check footnote 3's claim: the quotient's member states project
+    exactly onto the original system's states, round by round."""
+    for supernode, members in partition_order.items():
+        super_behavior = quotient.node(supernode)
+        for r in range(quotient.rounds + 1):
+            group_state = super_behavior.states[r]
+            for index, member in enumerate(members):
+                if original.node(member).states[r] != group_state[index]:
+                    return False
+    return True

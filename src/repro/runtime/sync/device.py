@@ -1,0 +1,124 @@
+"""Devices for the synchronous round model.
+
+A *device* (the paper's primitive) is here a deterministic state
+machine.  In every round it emits one message per *port* from its state,
+then consumes the messages arriving on its ports and moves to a new
+state.  A port is a local label for a link to a neighbor; crucially,
+devices see **only** their input, their port labels, and incoming
+messages — never the identity of the node they run at.  This is what
+lets the same device run at several nodes of a covering graph and
+behave identically (the Locality axiom).
+
+Port labels are assigned by the :class:`~repro.runtime.sync.system.
+SyncSystem`.  On a base graph they default to the neighbors' node ids;
+when devices are installed in a covering graph the labels are the
+*images* of the neighbors under the covering map, so a device cannot
+tell the covering from the base.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass
+from typing import Any, TypeAlias
+
+PortLabel: TypeAlias = Hashable
+Message: TypeAlias = Any
+State: TypeAlias = Any
+
+
+@dataclass(frozen=True)
+class NodeContext:
+    """Everything a device may legitimately observe about its location.
+
+    Attributes
+    ----------
+    ports:
+        The labels of this node's links, in a fixed order.
+    input:
+        The node's problem input (a Boolean, a real, a clock, ...).
+    """
+
+    ports: tuple[PortLabel, ...]
+    input: Any
+
+
+class SyncDevice(abc.ABC):
+    """A deterministic synchronous-round state machine.
+
+    Subclasses must be *pure*: the three methods may depend only on
+    their arguments (and immutable configuration set at construction
+    time).  The executor checks determinism opportunistically; the
+    impossibility engines rely on it.
+    """
+
+    @abc.abstractmethod
+    def init_state(self, ctx: NodeContext) -> State:
+        """The state before round 0."""
+
+    @abc.abstractmethod
+    def send(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> Mapping[PortLabel, Message]:
+        """Messages for this round, keyed by port label.
+
+        Ports missing from the mapping send ``None`` (no message).
+        """
+
+    @abc.abstractmethod
+    def transition(
+        self,
+        ctx: NodeContext,
+        state: State,
+        round_index: int,
+        inbox: Mapping[PortLabel, Message],
+    ) -> State:
+        """Consume this round's incoming messages and produce the next
+        state.  ``inbox`` has an entry for every port (``None`` when the
+        neighbor sent nothing)."""
+
+    def choose(self, ctx: NodeContext, state: State) -> Any | None:
+        """The paper's CHOOSE function: the decision read off a state.
+
+        ``None`` means "not yet decided".  The executor records the
+        first round at which a non-``None`` value appears; once decided
+        a device must never change its value (enforced by the
+        executor).
+        """
+        return None
+
+
+class FunctionDevice(SyncDevice):
+    """Adapter building a device from three plain functions.
+
+    Convenient for tests and for hypothesis-generated device families.
+    """
+
+    def __init__(self, init, send, transition, choose=None) -> None:
+        self._init = init
+        self._send = send
+        self._transition = transition
+        self._choose = choose
+
+    def init_state(self, ctx: NodeContext) -> State:
+        return self._init(ctx)
+
+    def send(
+        self, ctx: NodeContext, state: State, round_index: int
+    ) -> Mapping[PortLabel, Message]:
+        return self._send(ctx, state, round_index)
+
+    def transition(
+        self,
+        ctx: NodeContext,
+        state: State,
+        round_index: int,
+        inbox: Mapping[PortLabel, Message],
+    ) -> State:
+        return self._transition(ctx, state, round_index, inbox)
+
+    def choose(self, ctx: NodeContext, state: State) -> Any | None:
+        if self._choose is None:
+            return None
+        return self._choose(ctx, state)

@@ -1,0 +1,135 @@
+"""The synchronous executor.
+
+Runs a :class:`~repro.runtime.sync.system.SyncSystem` for a fixed
+number of rounds and records the full system behavior.  The executor
+is the operational guarantee behind the paper's axioms:
+
+* **Locality** holds because a node's next state is computed from its
+  device, its input, its port labels and the messages on its inedges —
+  nothing else is ever passed in.
+* **Determinism** (one behavior per system) holds because devices are
+  required to be pure; :func:`check_determinism` re-runs a system and
+  compares traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ...graphs.graph import DirectedEdge, NodeId
+from .behavior import EdgeBehavior, NodeBehavior, SyncBehavior
+from .device import NodeContext, SyncDevice
+from .system import SyncSystem
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a device misbehaves structurally (bad port label,
+    changed decision, ...)."""
+
+
+@dataclass
+class _NodeRun:
+    states: list[Any]
+    decision: Any | None = None
+    decided_at: int | None = None
+
+    def observe_choice(
+        self, device: SyncDevice, ctx: NodeContext, round_index: int, node: NodeId
+    ) -> None:
+        value = device.choose(ctx, self.states[-1])
+        if value is None:
+            return
+        if self.decision is None:
+            self.decision = value
+            self.decided_at = round_index
+        elif self.decision != value:
+            raise ExecutionError(
+                f"device at {node!r} changed its decision from "
+                f"{self.decision!r} to {value!r} at round {round_index}"
+            )
+
+
+def run(system: SyncSystem, rounds: int) -> SyncBehavior:
+    """Execute ``system`` for ``rounds`` rounds; return its behavior."""
+    if rounds < 0:
+        raise ExecutionError("rounds must be non-negative")
+    graph = system.graph
+    contexts = {u: system.context(u) for u in graph.nodes}
+    runs: dict[NodeId, _NodeRun] = {}
+    for u in graph.nodes:
+        device = system.device(u)
+        state = device.init_state(contexts[u])
+        node_run = _NodeRun(states=[state])
+        runs[u] = node_run
+        node_run.observe_choice(device, contexts[u], 0, u)
+
+    edge_messages: dict[DirectedEdge, list[Any]] = {
+        edge: [] for edge in graph.edges
+    }
+
+    for round_index in range(rounds):
+        # Phase 1: every node emits this round's messages.
+        outboxes: dict[DirectedEdge, Any] = {}
+        for u in graph.nodes:
+            device = system.device(u)
+            ctx = contexts[u]
+            out = device.send(ctx, runs[u].states[-1], round_index)
+            valid_ports = set(ctx.ports)
+            for label in out:
+                if label not in valid_ports:
+                    raise ExecutionError(
+                        f"device at {u!r} sent on unknown port {label!r}"
+                    )
+            for neighbor in graph.neighbors(u):
+                label = system.port(u, neighbor)
+                message = out.get(label)
+                outboxes[(u, neighbor)] = message
+                edge_messages[(u, neighbor)].append(message)
+
+        # Phase 2: every node consumes its inbox and moves.
+        for u in graph.nodes:
+            device = system.device(u)
+            ctx = contexts[u]
+            inbox = {
+                system.port(u, neighbor): outboxes[(neighbor, u)]
+                for neighbor in graph.in_neighbors(u)
+            }
+            state = device.transition(
+                ctx, runs[u].states[-1], round_index, inbox
+            )
+            runs[u].states.append(state)
+            runs[u].observe_choice(device, ctx, round_index + 1, u)
+
+    node_behaviors = {
+        u: NodeBehavior(
+            states=tuple(r.states),
+            decision=r.decision,
+            decided_at=r.decided_at,
+        )
+        for u, r in runs.items()
+    }
+    edge_behaviors = {
+        edge: EdgeBehavior(tuple(msgs)) for edge, msgs in edge_messages.items()
+    }
+    return SyncBehavior(
+        graph=graph,
+        rounds=rounds,
+        node_behaviors=node_behaviors,
+        edge_behaviors=edge_behaviors,
+    )
+
+
+def check_determinism(system: SyncSystem, rounds: int) -> bool:
+    """Run the system twice and compare traces.
+
+    A ``True`` result is necessary (not sufficient) evidence that the
+    devices are pure, i.e. that the system has the single behavior the
+    paper's model demands.
+    """
+    first = run(system, rounds)
+    second = run(system, rounds)
+    return (
+        dict(first.node_behaviors) == dict(second.node_behaviors)
+        and dict(first.edge_behaviors) == dict(second.edge_behaviors)
+    )

@@ -1,0 +1,67 @@
+"""The continuous-time model: hardware clocks, δ-delay messaging, and
+the Bounded-Delay Locality / Scaling axioms."""
+
+from .adversary import TimedCrashDevice, TimedReplayDevice, TimedSilentDevice
+from .behavior import (
+    TimedBehavior,
+    TimedEdgeBehavior,
+    TimedEvent,
+    TimedNodeBehavior,
+    events_equal,
+)
+from .clocks import (
+    ClockError,
+    ClockFunction,
+    ComposedClock,
+    LinearClock,
+    PowerClock,
+    compose,
+    drift_map,
+    identity,
+    verify_clock_order,
+)
+from .device import (
+    DeviceApi,
+    DeviceFactory,
+    LogicalClockFn,
+    TimedContext,
+    TimedDevice,
+)
+from .executor import TimedExecutionError, run_timed
+from .system import (
+    TimedNodeAssignment,
+    TimedSystem,
+    install_in_covering_timed,
+    make_timed_system,
+)
+
+__all__ = [
+    "ClockError",
+    "ClockFunction",
+    "ComposedClock",
+    "DeviceApi",
+    "DeviceFactory",
+    "LinearClock",
+    "LogicalClockFn",
+    "PowerClock",
+    "TimedBehavior",
+    "TimedContext",
+    "TimedCrashDevice",
+    "TimedDevice",
+    "TimedEdgeBehavior",
+    "TimedEvent",
+    "TimedExecutionError",
+    "TimedNodeAssignment",
+    "TimedNodeBehavior",
+    "TimedReplayDevice",
+    "TimedSilentDevice",
+    "TimedSystem",
+    "compose",
+    "drift_map",
+    "events_equal",
+    "identity",
+    "install_in_covering_timed",
+    "make_timed_system",
+    "run_timed",
+    "verify_clock_order",
+]

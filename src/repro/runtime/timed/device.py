@@ -1,0 +1,96 @@
+"""Devices for the continuous-time model.
+
+A timed device is an event handler: it reacts to its start event,
+incoming messages, and its own timers.  Through the :class:`DeviceApi`
+it may send messages, set timers, decide a value, enter the FIRE
+state, and (re)define its logical clock.
+
+Two deliberate restrictions make the paper's axioms hold:
+
+* A device never sees real time — only its **hardware clock** reading
+  (timers are set in clock time too).  With identity clocks this is
+  real time, which is what the weak-agreement/firing-squad model
+  allows; with drifting clocks it is exactly Section 7's "no direct
+  method, other than by reading their inaccurate hardware clocks, to
+  measure the passage of time", giving the Scaling axiom.
+* Messages incur the system's minimum delay, giving the Bounded-Delay
+  Locality axiom.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+from typing import Any, TypeAlias
+
+PortLabel: TypeAlias = Hashable
+Message: TypeAlias = Any
+LogicalClockFn: TypeAlias = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class TimedContext:
+    """What a timed device may observe about its location: its port
+    labels and its problem input."""
+
+    ports: tuple[PortLabel, ...]
+    input: Any
+
+
+class DeviceApi(abc.ABC):
+    """The executor-provided handle a device acts through.
+
+    All times a device sees or supplies are **hardware clock values**.
+    """
+
+    @abc.abstractmethod
+    def clock(self) -> float:
+        """The current hardware clock reading."""
+
+    @abc.abstractmethod
+    def send(self, port: PortLabel, message: Message) -> None:
+        """Send over a port; arrives after the system's delay."""
+
+    @abc.abstractmethod
+    def set_timer(self, name: Hashable, clock_value: float) -> None:
+        """Request a wake-up when the hardware clock reads
+        ``clock_value`` (must be in the future)."""
+
+    @abc.abstractmethod
+    def decide(self, value: Any) -> None:
+        """Choose an output value (once; re-deciding the same value is
+        a no-op, a different value is an error)."""
+
+    @abc.abstractmethod
+    def fire(self) -> None:
+        """Enter the FIRE state (firing squad problems)."""
+
+    @abc.abstractmethod
+    def set_logical(self, fn: LogicalClockFn) -> None:
+        """Define the logical clock as ``fn`` applied to the hardware
+        clock reading, from this instant on."""
+
+
+class TimedDevice(abc.ABC):
+    """A deterministic event-driven device.
+
+    One instance runs at one node; instances are created per node by a
+    factory, so mutable instance state is fine (and expected).
+    Handlers must be deterministic functions of the instance state and
+    their arguments.
+    """
+
+    def on_start(self, ctx: TimedContext, api: DeviceApi) -> None:
+        """Called once at time 0."""
+
+    def on_message(
+        self, ctx: TimedContext, api: DeviceApi, port: PortLabel, message: Message
+    ) -> None:
+        """Called when a message arrives on a port."""
+
+    def on_timer(self, ctx: TimedContext, api: DeviceApi, name: Hashable) -> None:
+        """Called when a timer set via :meth:`DeviceApi.set_timer` fires."""
+
+
+DeviceFactory: TypeAlias = Callable[[], TimedDevice]

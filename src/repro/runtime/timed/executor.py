@@ -1,0 +1,265 @@
+"""The continuous-time executor.
+
+A deterministic discrete-event simulator over real time.  The paper's
+timed axioms hold by construction:
+
+* **Bounded-Delay Locality** — the only inter-node channel is message
+  delivery, and every message arrives exactly ``delay`` after it is
+  sent (in real time, or in sender-clock time under
+  ``delay_mode="clock"``), so information crosses at most one edge per
+  ``δ`` of time.
+* **Scaling** — devices observe time exclusively through their
+  hardware clock (timers are set in clock values; in clock mode the
+  delay is measured on the sender's clock), so rescaling every clock
+  by ``h`` rescales the one behavior by ``h``.  The test suite checks
+  this by re-running scaled systems.
+
+Determinism: simultaneous events are ordered canonically (by target
+node, event kind, then port/timer identity), so a system has exactly
+one behavior — the model's standing assumption.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+from typing import Any
+
+from ...graphs.graph import DirectedEdge, NodeId
+from .adversary import TimedReplayDevice
+from .behavior import (
+    TimedBehavior,
+    TimedEdgeBehavior,
+    TimedEvent,
+    TimedNodeBehavior,
+)
+from .device import DeviceApi, LogicalClockFn, Message, PortLabel, TimedDevice
+from .system import TimedSystem
+
+
+class TimedExecutionError(RuntimeError):
+    """Raised when a device misuses the API (past timers, changed
+    decisions, ...)."""
+
+
+_KIND_RANK = {"start": 0, "scripted": 1, "timer": 2, "deliver": 3}
+
+
+@dataclass
+class _NodeRecord:
+    events: list[TimedEvent] = field(default_factory=list)
+    decision: Any | None = None
+    decision_time: float | None = None
+    fire_time: float | None = None
+    logical_segments: list[tuple[float, LogicalClockFn]] = field(
+        default_factory=list
+    )
+
+
+class _Api(DeviceApi):
+    """Device-facing API bound to one node; ``now`` is maintained by
+    the executor."""
+
+    def __init__(self, executor: "_Run", node: NodeId) -> None:
+        self._executor = executor
+        self._node = node
+        self.now = 0.0
+
+    def clock(self) -> float:
+        return self._executor.system.clock(self._node)(self.now)
+
+    def send(self, port: PortLabel, message: Message) -> None:
+        self._executor.send_from(self._node, port, message, self.now)
+
+    def set_timer(self, name: Hashable, clock_value: float) -> None:
+        clock = self._executor.system.clock(self._node)
+        real = clock.inverse()(clock_value)
+        if real <= self.now + 1e-15:
+            raise TimedExecutionError(
+                f"timer {name!r} at node {self._node!r} set for clock value "
+                f"{clock_value} which is not in the future"
+            )
+        self._executor.schedule(real, self._node, "timer", name)
+
+    def decide(self, value: Any) -> None:
+        self._executor.record_decision(self._node, value, self.now)
+
+    def fire(self) -> None:
+        self._executor.record_fire(self._node, self.now)
+
+    def set_logical(self, fn: LogicalClockFn) -> None:
+        self._executor.record_logical(self._node, fn, self.now)
+
+
+class _Run:
+    def __init__(self, system: TimedSystem, horizon: float) -> None:
+        self.system = system
+        self.horizon = horizon
+        graph = system.graph
+        self._node_rank = {u: i for i, u in enumerate(graph.nodes)}
+        self._queue: list[tuple] = []
+        self._seq = itertools.count()
+        self.records: dict[NodeId, _NodeRecord] = {
+            u: _NodeRecord() for u in graph.nodes
+        }
+        self.edge_sends: dict[DirectedEdge, list[tuple[float, Any, float]]] = {
+            e: [] for e in graph.edges
+        }
+        self.devices: dict[NodeId, TimedDevice] = {}
+        self.apis: dict[NodeId, _Api] = {u: _Api(self, u) for u in graph.nodes}
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(
+        self, time: float, node: NodeId, kind: str, payload: Any
+    ) -> None:
+        key = (
+            time,
+            self._node_rank[node],
+            _KIND_RANK[kind],
+            repr(payload),
+            next(self._seq),
+        )
+        heapq.heappush(self._queue, (key, node, kind, payload))
+
+    def send_from(
+        self, node: NodeId, port: PortLabel, message: Message, now: float
+    ) -> None:
+        neighbor = self.system.neighbor_of_port(node, port)
+        if self.system.delay_mode == "clock":
+            clock = self.system.clock(node)
+            arrival = clock.inverse()(clock(now) + self.system.delay)
+        else:
+            arrival = now + self.system.delay
+        self.records[node].events.append(
+            TimedEvent(now, "send", (port, message))
+        )
+        self.edge_sends[(node, neighbor)].append((now, message, arrival))
+        receiver_port = self.system.port(neighbor, node)
+        self.schedule(arrival, neighbor, "deliver", (receiver_port, message))
+
+    def send_scripted(
+        self,
+        node: NodeId,
+        port: PortLabel,
+        message: Message,
+        now: float,
+        arrival: float,
+    ) -> None:
+        """Replay a recorded send: the arrival time is part of the
+        recorded edge behavior and is reproduced verbatim rather than
+        recomputed from the (faulty) sender's clock."""
+        neighbor = self.system.neighbor_of_port(node, port)
+        self.records[node].events.append(
+            TimedEvent(now, "send", (port, message))
+        )
+        self.edge_sends[(node, neighbor)].append((now, message, arrival))
+        receiver_port = self.system.port(neighbor, node)
+        self.schedule(arrival, neighbor, "deliver", (receiver_port, message))
+
+    # -- recording ---------------------------------------------------------
+
+    def record_decision(self, node: NodeId, value: Any, now: float) -> None:
+        record = self.records[node]
+        if record.decision is not None:
+            if record.decision != value:
+                raise TimedExecutionError(
+                    f"node {node!r} changed its decision from "
+                    f"{record.decision!r} to {value!r}"
+                )
+            return
+        record.decision = value
+        record.decision_time = now
+        record.events.append(TimedEvent(now, "decide", value))
+
+    def record_fire(self, node: NodeId, now: float) -> None:
+        record = self.records[node]
+        if record.fire_time is not None:
+            return
+        record.fire_time = now
+        record.events.append(TimedEvent(now, "fire"))
+
+    def record_logical(
+        self, node: NodeId, fn: LogicalClockFn, now: float
+    ) -> None:
+        record = self.records[node]
+        record.logical_segments.append((now, fn))
+        record.events.append(TimedEvent(now, "logical", fn))
+
+    # -- main loop ---------------------------------------------------------
+
+    def execute(self) -> TimedBehavior:
+        system = self.system
+        graph = system.graph
+        for u in graph.nodes:
+            factory = system.assignments[u].factory
+            device = factory()
+            self.devices[u] = device
+            if isinstance(device, TimedReplayDevice):
+                for time, port, message, arrival in device.script:
+                    if time < 0:
+                        raise TimedExecutionError(
+                            "replay scripts cannot send before time 0"
+                        )
+                    self.schedule(time, u, "scripted", (port, message, arrival))
+            self.schedule(0.0, u, "start", None)
+
+        while self._queue:
+            (key, node, kind, payload) = heapq.heappop(self._queue)
+            time = key[0]
+            if time > self.horizon:
+                break
+            api = self.apis[node]
+            api.now = time
+            device = self.devices[node]
+            ctx = system.context(node)
+            if kind == "start":
+                self.records[node].events.append(TimedEvent(time, "start"))
+                device.on_start(ctx, api)
+            elif kind == "scripted":
+                port, message, arrival = payload
+                self.send_scripted(node, port, message, time, arrival)
+            elif kind == "timer":
+                self.records[node].events.append(
+                    TimedEvent(time, "timer", payload)
+                )
+                device.on_timer(ctx, api, payload)
+            elif kind == "deliver":
+                port, message = payload
+                self.records[node].events.append(
+                    TimedEvent(time, "receive", (port, message))
+                )
+                device.on_message(ctx, api, port, message)
+            else:  # pragma: no cover
+                raise TimedExecutionError(f"unknown event kind {kind!r}")
+
+        node_behaviors = {
+            u: TimedNodeBehavior(
+                events=tuple(r.events),
+                decision=r.decision,
+                decision_time=r.decision_time,
+                fire_time=r.fire_time,
+                clock=system.clock(u),
+                logical_segments=tuple(r.logical_segments),
+            )
+            for u, r in self.records.items()
+        }
+        edge_behaviors = {
+            e: TimedEdgeBehavior(tuple(sends))
+            for e, sends in self.edge_sends.items()
+        }
+        return TimedBehavior(
+            graph=graph,
+            horizon=self.horizon,
+            node_behaviors=node_behaviors,
+            edge_behaviors=edge_behaviors,
+        )
+
+
+def run_timed(system: TimedSystem, horizon: float) -> TimedBehavior:
+    """Execute ``system`` through real time ``horizon``."""
+    if horizon < 0:
+        raise TimedExecutionError("horizon must be non-negative")
+    return _Run(system, horizon).execute()

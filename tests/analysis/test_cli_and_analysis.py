@@ -1,0 +1,164 @@
+"""CLI and analysis-layer tests."""
+
+import pytest
+
+from repro.analysis import (
+    SWEEP_HEADERS,
+    connectivity_sweep,
+    diamond_figure,
+    eight_ring_figure,
+    format_table,
+    hexagon_figure,
+    node_bound_sweep,
+    ring_figure,
+    triangle_figure,
+    witness_chain_figure,
+)
+from repro.cli import build_parser, main, parse_graph
+from repro.graphs import GraphError, ring_cover_of_triangle
+
+
+class TestTables:
+    def test_basic_rendering(self):
+        out = format_table(("a", "bb"), [(1, 2.34567), (None, True)])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.346" in out
+        assert "—" in out and "yes" in out
+
+    def test_title(self):
+        out = format_table(("x",), [(1,)], title="T")
+        assert out.splitlines()[0] == "T"
+
+
+class TestDiagrams:
+    def test_static_figures_nonempty(self):
+        for figure in (
+            triangle_figure(),
+            hexagon_figure(),
+            diamond_figure(),
+            eight_ring_figure(),
+        ):
+            assert figure.strip()
+
+    def test_ring_figure(self):
+        cm = ring_cover_of_triangle(6)
+        inputs = {u: i for i, u in enumerate(cm.cover.nodes)}
+        fig = ring_figure(cm, inputs)
+        assert "A" in fig and "B" in fig and "C" in fig
+        assert "wraps" in fig
+
+    def test_chain_figure(self):
+        fig = witness_chain_figure(["E1", "E2", "E3"], ["c", "a"])
+        assert fig == "E1 --[c]-- E2 --[a]-- E3"
+
+
+class TestSweeps:
+    def test_node_sweep_shape(self):
+        rows = node_bound_sweep((1,))
+        assert [r.n_nodes for r in rows] == [3, 4, 5]
+        assert "IMPOSSIBLE" in rows[0].outcome
+        assert "SOLVED" in rows[1].outcome
+
+    def test_connectivity_sweep_shape(self):
+        rows = connectivity_sweep(1)
+        assert len(rows) == 3
+        assert len(SWEEP_HEADERS) == len(rows[0].as_tuple())
+
+
+class TestCLI:
+    def test_parse_graph_families(self):
+        assert len(parse_graph("triangle")) == 3
+        assert len(parse_graph("complete:5")) == 5
+        assert len(parse_graph("ring:6")) == 6
+        assert len(parse_graph("wheel:5")) == 6
+        assert len(parse_graph("circulant:7:1,2")) == 7
+
+    def test_parse_graph_rejects_garbage(self):
+        with pytest.raises(GraphError):
+            parse_graph("torus:3")
+        with pytest.raises(GraphError):
+            parse_graph("complete:xyz")
+
+    def test_classify_command(self, capsys):
+        assert main(["classify", "--graph", "triangle", "--faults", "1"]) == 0
+        assert "INADEQUATE" in capsys.readouterr().out
+
+    def test_refute_byzantine_command(self, capsys):
+        assert main(["refute", "byzantine"]) == 0
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out and "chain links" in out
+
+    def test_refute_connectivity_command(self, capsys):
+        assert main(["refute", "connectivity", "--graph", "diamond"]) == 0
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_refute_eps_delta_command(self, capsys):
+        assert main(["refute", "eps-delta"]) == 0
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_demo_eig_command(self, capsys):
+        assert main(["demo", "eig", "--graph", "complete:4"]) == 0
+        assert "all conditions satisfied" in capsys.readouterr().out
+
+    def test_demo_sparse_command(self, capsys):
+        code = main(
+            ["demo", "sparse", "--graph", "circulant:7:1,2", "--faults", "1"]
+        )
+        assert code == 0
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "nodes", "--faults", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "IMPOSSIBLE" in out and "SOLVED" in out
+
+    def test_error_exit_code(self, capsys):
+        assert main(["classify", "--graph", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parser_help_mentions_problems(self):
+        parser = build_parser()
+        assert parser.prog == "repro"
+
+
+class TestMasterReport:
+    @pytest.mark.slow
+    def test_full_report_all_witnessed(self):
+        from repro.analysis.report import full_report
+
+        lines = full_report()
+        assert len(lines) == 16
+        assert all("witness:" in line.verdict for line in lines)
+        results = {line.result for line in lines}
+        for theorem in ("Thm 1", "Thm 2", "Thm 4", "Thm 5", "Thm 6", "Thm 8"):
+            assert any(r.startswith(theorem) for r in results)
+
+    @pytest.mark.slow
+    def test_report_command(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "FLM 1985, reproduced" in out
+        assert "Cor 15" in out
+
+
+class TestCLIWitnessOptions:
+    def test_refute_verbose(self, capsys):
+        assert main(["refute", "byzantine", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "full trace" in out
+
+    def test_refute_json(self, tmp_path, capsys):
+        target = tmp_path / "witness.json"
+        assert main(["refute", "byzantine", "--json", str(target)]) == 0
+        import json
+
+        data = json.loads(target.read_text())
+        assert data["found"] is True
+
+    def test_refute_weak_command(self, capsys):
+        assert main(["refute", "weak"]) == 0
+        assert "weak-agreement" in capsys.readouterr().out
+
+    def test_refute_firing_command(self, capsys):
+        assert main(["refute", "firing"]) == 0
+        assert "firing-squad" in capsys.readouterr().out

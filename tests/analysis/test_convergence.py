@@ -1,0 +1,112 @@
+"""Convergence measurement vs [DLPSW]'s theoretical contraction."""
+
+import pytest
+
+from repro.analysis.convergence import (
+    measure_convergence,
+    spread,
+    theoretical_dlpsw_factor,
+)
+from repro.graphs import complete_graph
+from repro.protocols import dlpsw_devices, inexact_devices
+from repro.runtime.sync import RandomLiarDevice
+
+
+class TestSpread:
+    def test_basic(self):
+        assert spread([0.0, 0.3, 1.0]) == pytest.approx(1.0)
+        assert spread([]) == 0.0
+
+
+class TestTheoreticalFactor:
+    def test_known_values(self):
+        # n = 3f+1: floor((f)/f)+1 = 2 -> factor 1/2.
+        assert theoretical_dlpsw_factor(4, 1) == pytest.approx(0.5)
+        assert theoretical_dlpsw_factor(7, 2) == pytest.approx(0.5)
+        # Larger n converges faster per round.
+        assert theoretical_dlpsw_factor(10, 1) < 0.2
+
+
+class TestMeasuredConvergence:
+    def _curve(self, n, f, with_liar=True):
+        g = complete_graph(n)
+        nodes = list(g.nodes)
+        honest = nodes[: n - f] if with_liar else nodes
+        inputs = {u: i / (n - 1) for i, u in enumerate(nodes)}
+
+        def adversary():
+            return {
+                nodes[-1 - i]: RandomLiarDevice(
+                    i, value_pool=(-10.0, 10.0)
+                )
+                for i in range(f)
+            }
+
+        return measure_convergence(
+            g,
+            lambda rounds: dlpsw_devices(g, f, rounds),
+            inputs,
+            honest,
+            adversary_builder=adversary if with_liar else None,
+            max_rounds=5,
+        )
+
+    def test_spread_is_monotone_decreasing(self):
+        curve = self._curve(4, 1)
+        for before, after in zip(curve.spreads, curve.spreads[1:]):
+            assert after <= before + 1e-12
+
+    def test_contracts_every_round(self):
+        curve = self._curve(7, 2)
+        assert curve.worst_factor() < 1.0
+
+    def test_cumulative_contraction_beats_theory(self):
+        """[DLPSW]'s per-round bound is for their f,k-averaging
+        function; the plain trimmed mean can have weaker single rounds
+        but its cumulative contraction comfortably beats the bound."""
+        curve = self._curve(7, 2)
+        bound = theoretical_dlpsw_factor(7, 2)
+        rounds = len(curve.spreads) - 1
+        cumulative = curve.spreads[-1] / curve.spreads[0]
+        assert cumulative <= bound ** (rounds / 2) + 1e-9
+
+    def test_fault_free_collapses_immediately(self):
+        # With no faults, trimming 1 of 4 leaves everyone averaging the
+        # same middle pair: spread 0 after a single round.
+        curve = self._curve(4, 1, with_liar=False)
+        assert curve.spreads[0] == pytest.approx(0.0)
+
+    def test_rows_align(self):
+        curve = self._curve(4, 1)
+        rows = curve.rows()
+        assert rows[0][0] == 1 and len(rows) == 5
+
+    def test_undecided_raises(self):
+        g = complete_graph(4)
+        inputs = {u: 0.0 for u in g.nodes}
+        with pytest.raises(ValueError):
+            measure_convergence(
+                g,
+                # Configured for 10 rounds but run fewer: no decision.
+                lambda rounds: dlpsw_devices(g, 1, rounds + 1),
+                inputs,
+                list(g.nodes),
+                max_rounds=2,
+            )
+
+    def test_inexact_midpoint_halves(self):
+        g = complete_graph(4)
+        nodes = list(g.nodes)
+        inputs = {u: i / 3 for i, u in enumerate(nodes)}
+
+        def builder(rounds):
+            from repro.protocols.inexact_ms import InexactAgreementDevice
+
+            return {
+                u: InexactAgreementDevice(1, rounds) for u in g.nodes
+            }
+
+        curve = measure_convergence(
+            g, builder, inputs, nodes, max_rounds=4
+        )
+        assert curve.worst_factor() <= 0.5 + 1e-9

@@ -1,0 +1,47 @@
+"""Metrics tests."""
+
+from repro.analysis.metrics import COMPARE_HEADERS, RunMetrics, compare, measure
+from repro.graphs import complete_graph
+from repro.protocols import MajorityVoteDevice, eig_devices
+from repro.runtime.sync import SilentDevice, make_system, run, uniform_system
+
+
+class TestMeasure:
+    def test_counts_messages_not_silence(self):
+        g = complete_graph(3)
+        system = uniform_system(
+            g, MajorityVoteDevice(), {u: 0 for u in g.nodes}
+        )
+        metrics = measure(run(system, 2))
+        # One exchange round: 3 nodes x 2 neighbors messages; round 2
+        # is silent.
+        assert metrics.messages == 6
+        assert metrics.rounds == 2
+        assert metrics.traffic > 0
+
+    def test_silent_devices_produce_nothing(self):
+        g = complete_graph(3)
+        system = uniform_system(g, SilentDevice(), {u: 0 for u in g.nodes})
+        metrics = measure(run(system, 3))
+        assert metrics.messages == 0
+        assert metrics.last_decision_round is None
+
+    def test_decision_rounds(self):
+        g = complete_graph(4)
+        system = make_system(
+            g, eig_devices(g, 1), {u: 0 for u in g.nodes}
+        )
+        metrics = measure(run(system, 2))
+        assert metrics.last_decision_round == 2
+
+    def test_compare_rows_align_with_headers(self):
+        m = RunMetrics(
+            rounds=1,
+            messages=2,
+            traffic=3,
+            max_message=4,
+            decision_rounds={"a": 1},
+        )
+        rows = compare({"x": m})
+        assert len(rows[0]) == len(COMPARE_HEADERS)
+        assert rows[0][0] == "x"

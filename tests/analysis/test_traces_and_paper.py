@@ -1,0 +1,100 @@
+"""Trace renderers and the paper index."""
+
+import pytest
+
+import repro.paper as paper
+from repro.analysis.traces import (
+    render_fire_times,
+    render_sync_decisions,
+    render_sync_messages,
+    render_timed_events,
+)
+from repro.graphs import triangle
+from repro.protocols import MajorityVoteDevice, RelayFireDevice
+from repro.runtime.sync import run, uniform_system
+from repro.runtime.timed import make_timed_system, run_timed
+
+
+class TestSyncTraces:
+    def setup_method(self):
+        g = triangle()
+        self.behavior = run(
+            uniform_system(g, MajorityVoteDevice(), {"a": 1, "b": 1, "c": 0}),
+            2,
+        )
+
+    def test_message_table(self):
+        out = render_sync_messages(self.behavior)
+        assert "a → b" in out and "r0" in out and "r1" in out
+
+    def test_message_table_restricted(self):
+        out = render_sync_messages(self.behavior, nodes=["a", "b"])
+        assert "a → b" in out and "c" not in out.replace("decisions", "")
+
+    def test_decision_table(self):
+        out = render_sync_decisions(self.behavior)
+        assert "node" in out and "round" in out
+
+
+class TestTimedTraces:
+    def setup_method(self):
+        g = triangle()
+        factories = {u: (lambda: RelayFireDevice(fire_at=2.5)) for u in g.nodes}
+        self.behavior = run_timed(
+            make_timed_system(g, factories, {"a": 1, "b": 0, "c": 0}, delay=1.0),
+            horizon=4.0,
+        )
+
+    def test_event_timeline(self):
+        out = render_timed_events(self.behavior)
+        assert "start" in out and "fire" in out and "receive" in out
+
+    def test_timeline_respects_horizon(self):
+        out = render_timed_events(self.behavior, through=0.5)
+        assert "fire" not in out
+
+    def test_fire_table(self):
+        out = render_fire_times(self.behavior)
+        assert "2.5" in out
+
+
+class TestPaperIndex:
+    def test_all_results_resolve_to_callables(self):
+        for result in paper.RESULTS:
+            resolved = paper.resolve(result.engine)
+            assert callable(resolved), result.identifier
+
+    def test_benchmarks_exist_on_disk(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        for result in paper.RESULTS:
+            assert (root / result.benchmark).exists(), result.benchmark
+
+    def test_every_theorem_present(self):
+        identifiers = {r.identifier for r in paper.RESULTS}
+        for expected in (
+            "theorem-1-nodes",
+            "theorem-1-connectivity",
+            "theorem-2",
+            "theorem-4",
+            "theorem-5",
+            "theorem-6",
+            "theorem-8",
+            "corollary-12",
+            "corollary-13",
+            "corollary-14",
+            "corollary-15",
+        ):
+            assert expected in identifiers
+
+    def test_by_id(self):
+        assert paper.by_id("theorem-8").section == "7"
+        with pytest.raises(KeyError):
+            paper.by_id("theorem-99")
+
+    def test_print_index(self, capsys):
+        paper.print_index()
+        out = capsys.readouterr().out
+        assert "theorem-1-nodes" in out
+        assert "Scaling" in out

@@ -1,0 +1,55 @@
+"""Witness serialization round-trips through JSON."""
+
+import json
+
+from repro.analysis.witness_io import save_witness, witness_to_dict
+from repro.core import refute_node_bound, refute_weak_agreement
+from repro.graphs import triangle
+from repro.protocols import ExchangeOnceWeakDevice, MajorityVoteDevice
+
+
+def sync_witness():
+    g = triangle()
+    return refute_node_bound(
+        g, {u: MajorityVoteDevice() for u in g.nodes}, 1, rounds=3
+    )
+
+
+class TestWitnessToDict:
+    def test_structure(self):
+        data = witness_to_dict(sync_witness())
+        assert data["problem"] == "byzantine-agreement"
+        assert data["found"] is True
+        assert len(data["behaviors"]) == 3
+        labels = [b["label"] for b in data["behaviors"]]
+        assert labels == ["E1", "E2", "E3"]
+        violated = [b for b in data["behaviors"] if not b["ok"]]
+        assert violated and violated[0]["violations"]
+
+    def test_json_safe(self):
+        data = witness_to_dict(sync_witness(), include_traces=True)
+        text = json.dumps(data)  # must not raise
+        assert "message_traces" in text
+
+    def test_timed_witness_serializes(self):
+        g = triangle()
+        witness = refute_weak_agreement(
+            {u: (lambda: ExchangeOnceWeakDevice(2.0)) for u in g.nodes},
+            delta=1.0,
+            decision_deadline=3.0,
+        )
+        data = witness_to_dict(witness)
+        json.dumps(data)
+        assert data["extra"]["k"] == witness.extra["k"]
+
+    def test_links_present(self):
+        data = witness_to_dict(sync_witness())
+        assert data["links"][0]["between"] == ["E1", "E2"]
+
+
+class TestSaveWitness:
+    def test_writes_file(self, tmp_path):
+        path = save_witness(sync_witness(), tmp_path / "w.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["max_faults"] == 1
+        assert loaded["graph"]["nodes"] == ["a", "b", "c"]

@@ -1,0 +1,120 @@
+"""Theorem 5 and 6 engine tests."""
+
+import pytest
+
+from repro.core import (
+    refute_epsilon_delta,
+    refute_simple_connectivity,
+    refute_simple_node_bound,
+    ring_size_for_epsilon_delta,
+)
+from repro.graphs import complete_graph, diamond, triangle
+from repro.protocols.naive import MedianDevice, MidpointDevice
+from repro.runtime.sync import FunctionDevice
+
+
+class TestSimpleApproximate:
+    def test_midpoint_on_triangle(self):
+        g = triangle()
+        witness = refute_simple_node_bound(
+            g, {u: MidpointDevice() for u in g.nodes}, 1, rounds=3
+        )
+        assert witness.found
+
+    def test_median_on_triangle(self):
+        g = triangle()
+        witness = refute_simple_node_bound(
+            g, {u: MedianDevice() for u in g.nodes}, 1, rounds=3
+        )
+        assert witness.found
+
+    def test_echo_breaks_agreement_in_middle(self):
+        echo = FunctionDevice(
+            init=lambda ctx: float(ctx.input),
+            send=lambda ctx, state, r: {},
+            transition=lambda ctx, state, r, inbox: state,
+            choose=lambda ctx, state: state,
+        )
+        g = triangle()
+        witness = refute_simple_node_bound(
+            g, {u: echo for u in g.nodes}, 1, rounds=2
+        )
+        # Echoing the input is valid but cannot contract the spread in
+        # the mixed-input middle behavior E2.
+        labels = [c.label for c in witness.violated]
+        assert "E2" in labels
+
+    def test_connectivity_bound_on_diamond(self):
+        g = diamond()
+        witness = refute_simple_connectivity(
+            g, {u: MidpointDevice() for u in g.nodes}, 1, rounds=4
+        )
+        assert witness.found
+
+    def test_six_node_two_fault_case(self):
+        g = complete_graph(6)
+        witness = refute_simple_node_bound(
+            g, {u: MidpointDevice() for u in g.nodes}, 2, rounds=3
+        )
+        assert witness.found
+
+
+class TestEpsilonDeltaGamma:
+    def test_ring_size_divisibility(self):
+        k = ring_size_for_epsilon_delta(0.5, 1.0, 1.0)
+        assert (k + 2) % 3 == 0
+        assert k > 1 + 2 * 1.0 / (1.0 - 0.5)
+
+    def test_ring_size_rejects_trivial_case(self):
+        with pytest.raises(ValueError):
+            ring_size_for_epsilon_delta(1.0, 1.0, 1.0)
+
+    def test_median_devices_refuted(self):
+        g = triangle()
+        witness = refute_epsilon_delta(
+            {u: MedianDevice() for u in g.nodes},
+            epsilon=0.25,
+            delta=1.0,
+            gamma=1.0,
+            rounds=3,
+        )
+        assert witness.found
+        assert witness.extra["k"] >= 2
+
+    def test_lemma7_trace_is_reported(self):
+        g = triangle()
+        witness = refute_epsilon_delta(
+            {u: MedianDevice() for u in g.nodes},
+            epsilon=0.25,
+            delta=1.0,
+            gamma=1.0,
+            rounds=3,
+        )
+        trace = witness.extra["lemma7"]
+        assert len(trace) == witness.extra["k"] + 2
+        assert trace[0]["input"] == 0.0
+        # Inputs increase by delta along the ring.
+        assert trace[1]["input"] == pytest.approx(1.0)
+
+    def test_scenarios_cover_all_adjacent_pairs(self):
+        g = triangle()
+        witness = refute_epsilon_delta(
+            {u: MedianDevice() for u in g.nodes},
+            epsilon=0.5,
+            delta=1.0,
+            gamma=0.5,
+            rounds=3,
+        )
+        k = witness.extra["k"]
+        assert len(witness.checked) == k + 1
+
+    def test_midpoint_devices_refuted_with_tight_gamma(self):
+        g = triangle()
+        witness = refute_epsilon_delta(
+            {u: MidpointDevice() for u in g.nodes},
+            epsilon=0.1,
+            delta=1.0,
+            gamma=0.2,
+            rounds=3,
+        )
+        assert witness.found

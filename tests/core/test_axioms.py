@@ -1,0 +1,122 @@
+"""The axiom checkers: pass for honest models, fail for rigged ones."""
+
+import pytest
+
+from repro.core.axioms import (
+    AxiomViolation,
+    check_bounded_delay_locality,
+    check_determinism_everywhere,
+    check_fault_axiom,
+    check_locality_axiom,
+    check_scaling_axiom,
+)
+from repro.graphs import complete_graph, line, triangle
+from repro.protocols import MajorityVoteDevice, eig_devices
+from repro.runtime.sync import FunctionDevice, make_system, uniform_system
+from repro.runtime.timed import (
+    LinearClock,
+    make_timed_system,
+)
+from repro.runtime.timed.device import TimedDevice
+
+
+class TestLocality:
+    def test_holds_for_majority_devices(self):
+        g = triangle()
+        system = uniform_system(
+            g, MajorityVoteDevice(), {"a": 1, "b": 0, "c": 0}
+        )
+        assert check_locality_axiom(system, ("b", "c"), rounds=3)
+
+    def test_holds_for_eig(self):
+        g = complete_graph(4)
+        system = make_system(
+            g, eig_devices(g, 1), {u: i % 2 for i, u in enumerate(g.nodes)}
+        )
+        assert check_locality_axiom(system, ("n0", "n1", "n2"), rounds=2)
+
+    def test_detects_nondeterminism(self):
+        import itertools
+
+        counter = itertools.count()
+        impure = FunctionDevice(
+            init=lambda ctx: next(counter),
+            send=lambda ctx, state, r: {p: state for p in ctx.ports},
+            transition=lambda ctx, state, r, inbox: state,
+        )
+        g = triangle()
+        system = uniform_system(g, impure, {u: 0 for u in g.nodes})
+        with pytest.raises(AxiomViolation):
+            check_locality_axiom(system, ("b", "c"), rounds=2)
+
+
+class TestFault:
+    def test_masquerade_between_two_runs(self):
+        g = triangle()
+        sys0 = uniform_system(g, MajorityVoteDevice(), {u: 0 for u in g.nodes})
+        sys1 = uniform_system(g, MajorityVoteDevice(), {u: 1 for u in g.nodes})
+        assert check_fault_axiom(sys0, sys1, "a", rounds=3)
+
+
+class TestBoundedDelay:
+    def test_line_graph_propagation(self):
+        class Gossip(TimedDevice):
+            def on_start(self, ctx, api):
+                if ctx.input == 1:
+                    for port in ctx.ports:
+                        api.send(port, "news")
+
+            def on_message(self, ctx, api, port, message):
+                for out in ctx.ports:
+                    if out != port:
+                        api.send(out, message)
+
+        g = line(5)
+
+        def build(value):
+            inputs = {u: 0 for u in g.nodes}
+            inputs["l0"] = value
+            return make_timed_system(
+                g, {u: Gossip for u in g.nodes}, inputs, delay=1.0
+            )
+
+        assert check_bounded_delay_locality(
+            build, far_node="l4", changed_node="l0", distance=4,
+            delta=1.0, horizon=6.0,
+        )
+
+
+class TestScaling:
+    def test_clocked_system_scales(self):
+        class Talker(TimedDevice):
+            def on_start(self, ctx, api):
+                api.set_timer("t", 1.0)
+
+            def on_timer(self, ctx, api, name):
+                for port in ctx.ports:
+                    api.send(port, ("c", api.clock()))
+
+        g = triangle()
+        system = make_timed_system(
+            g,
+            {u: Talker for u in g.nodes},
+            {u: None for u in g.nodes},
+            delay=0.25,
+            delay_mode="clock",
+            clocks={u: LinearClock(1.5, 0.0) for u in g.nodes},
+        )
+        assert check_scaling_axiom(system, LinearClock(3.0, 0.0), horizon=3.0)
+
+
+class TestDeterminism:
+    def test_batch_check(self):
+        g = triangle()
+        systems = {
+            "zeros": uniform_system(
+                g, MajorityVoteDevice(), {u: 0 for u in g.nodes}
+            ),
+            "mixed": uniform_system(
+                g, MajorityVoteDevice(), {"a": 1, "b": 0, "c": 1}
+            ),
+        }
+        assert check_determinism_everywhere(systems, rounds=2)

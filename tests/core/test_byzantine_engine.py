@@ -1,0 +1,189 @@
+"""Theorem 1 engine tests: the executable impossibility proof finds a
+violating correct behavior for every candidate device family we throw
+at it, on both inadequate-by-nodes and inadequate-by-connectivity
+graphs."""
+
+import pytest
+
+from repro.core import (
+    CoveringArgumentError,
+    NoViolationFound,
+    refute_connectivity,
+    refute_node_bound,
+)
+from repro.graphs import (
+    GraphError,
+    complete_graph,
+    diamond,
+    ring,
+    triangle,
+    wheel,
+)
+from repro.protocols.naive import (
+    MajorityVoteDevice,
+    MinimumDevice,
+)
+from repro.runtime.sync import FunctionDevice
+
+
+def constant_device(value):
+    """Always decides ``value`` — satisfies agreement, breaks validity."""
+    return FunctionDevice(
+        init=lambda ctx: value,
+        send=lambda ctx, state, r: {},
+        transition=lambda ctx, state, r, inbox: state,
+        choose=lambda ctx, state: state,
+    )
+
+
+def echo_input_device():
+    """Decides its own input — satisfies validity, breaks agreement."""
+    return FunctionDevice(
+        init=lambda ctx: ctx.input,
+        send=lambda ctx, state, r: {},
+        transition=lambda ctx, state, r, inbox: state,
+        choose=lambda ctx, state: state,
+    )
+
+
+class TestNodeBound:
+    def test_majority_vote_on_triangle(self):
+        g = triangle()
+        witness = refute_node_bound(
+            g, {u: MajorityVoteDevice() for u in g.nodes}, 1, rounds=3
+        )
+        assert witness.found
+        assert len(witness.checked) == 3
+        # The chain is glued by shared correct behaviors.
+        assert len(witness.links) >= 2
+
+    def test_constant_devices_break_validity(self):
+        g = triangle()
+        witness = refute_node_bound(
+            g, {u: constant_device(0) for u in g.nodes}, 1, rounds=2
+        )
+        violated_conditions = {
+            v.condition
+            for checked in witness.violated
+            for v in checked.verdict.violations
+        }
+        assert "validity" in violated_conditions
+
+    def test_echo_devices_break_agreement(self):
+        g = triangle()
+        witness = refute_node_bound(
+            g, {u: echo_input_device() for u in g.nodes}, 1, rounds=2
+        )
+        violated_conditions = {
+            v.condition
+            for checked in witness.violated
+            for v in checked.verdict.violations
+        }
+        assert "agreement" in violated_conditions
+
+    def test_six_nodes_two_faults(self):
+        g = complete_graph(6)
+        witness = refute_node_bound(
+            g, {u: MajorityVoteDevice() for u in g.nodes}, 2, rounds=3
+        )
+        assert witness.found
+        for checked in witness.checked:
+            assert len(checked.constructed.correct_nodes) >= len(g) - 2
+
+    def test_five_nodes_two_faults(self):
+        g = complete_graph(5)
+        witness = refute_node_bound(
+            g, {u: MinimumDevice() for u in g.nodes}, 2, rounds=3
+        )
+        assert witness.found
+
+    def test_adequate_graph_rejected(self):
+        g = complete_graph(4)
+        with pytest.raises(GraphError):
+            refute_node_bound(
+                g, {u: MajorityVoteDevice() for u in g.nodes}, 1, rounds=2
+            )
+
+    def test_correct_count_at_least_n_minus_f(self):
+        g = triangle()
+        witness = refute_node_bound(
+            g, {u: MajorityVoteDevice() for u in g.nodes}, 1, rounds=3
+        )
+        for checked in witness.checked:
+            assert len(checked.constructed.correct_nodes) >= len(g) - 1
+
+    def test_nondeterministic_device_detected(self):
+        import itertools
+
+        counter = itertools.count()
+
+        impure = FunctionDevice(
+            init=lambda ctx: next(counter),
+            send=lambda ctx, state, r: {},
+            transition=lambda ctx, state, r, inbox: state,
+            choose=lambda ctx, state: 0,
+        )
+        g = triangle()
+        with pytest.raises(CoveringArgumentError):
+            refute_node_bound(g, {u: impure for u in g.nodes}, 1, rounds=2)
+
+    def test_undecided_devices_reported_as_termination(self):
+        silent = FunctionDevice(
+            init=lambda ctx: None,
+            send=lambda ctx, state, r: {},
+            transition=lambda ctx, state, r, inbox: state,
+        )
+        g = triangle()
+        witness = refute_node_bound(
+            g, {u: silent for u in g.nodes}, 1, rounds=2
+        )
+        conditions = {
+            v.condition
+            for checked in witness.violated
+            for v in checked.verdict.violations
+        }
+        assert conditions == {"termination"}
+
+
+class TestConnectivityBound:
+    def test_majority_on_diamond(self):
+        g = diamond()
+        witness = refute_connectivity(
+            g, {u: MajorityVoteDevice() for u in g.nodes}, 1, rounds=4
+        )
+        assert witness.found
+
+    def test_ring_of_six_one_fault(self):
+        # Six nodes (enough for 3f+1) but connectivity 2 < 2f+1.
+        g = ring(6)
+        witness = refute_connectivity(
+            g, {u: MajorityVoteDevice() for u in g.nodes}, 1, rounds=4
+        )
+        assert witness.found
+
+    def test_wheel_two_faults(self):
+        # Wheel on 6 rim nodes: n = 7 >= 3f+1 for f = 2, connectivity 3
+        # < 5 = 2f+1: inadequate by connectivity only.
+        g = wheel(6)
+        witness = refute_connectivity(
+            g, {u: MajorityVoteDevice() for u in g.nodes}, 2, rounds=4
+        )
+        assert witness.found
+
+    def test_adequate_graph_rejected(self):
+        g = complete_graph(4)
+        from repro.graphs import CoveringError
+
+        with pytest.raises(CoveringError):
+            refute_connectivity(
+                g, {u: MajorityVoteDevice() for u in g.nodes}, 1, rounds=2
+            )
+
+    def test_witness_description_readable(self):
+        g = diamond()
+        witness = refute_connectivity(
+            g, {u: MajorityVoteDevice() for u in g.nodes}, 1, rounds=4
+        )
+        text = witness.describe()
+        assert "VIOLATED" in text
+        assert "chain links" in text

@@ -1,0 +1,84 @@
+"""Section 3's closing remark: nondeterministic algorithms cannot
+guarantee agreement either — refuted resolution by resolution."""
+
+from repro.core.nondeterminism import (
+    SeededOracle,
+    refute_nondeterministic,
+)
+from repro.graphs import triangle
+from repro.runtime.sync import FunctionDevice
+
+
+def coin_flip_family(oracle: SeededOracle):
+    """A 'randomized' agreement attempt: gossip once; on a mixed view,
+    decide by the oracle's coin instead of a fixed default."""
+
+    def init(ctx):
+        return ((), None)
+
+    def send(ctx, state, r):
+        if r == 0:
+            return {p: ctx.input for p in ctx.ports}
+        return {}
+
+    def transition(ctx, state, r, inbox):
+        seen, decided = state
+        if r == 0:
+            seen = tuple(
+                sorted(inbox.items(), key=lambda kv: str(kv[0]))
+            )
+            values = {ctx.input, *(v for _, v in seen if v is not None)}
+            if len(values) == 1:
+                decided = ctx.input
+            else:
+                decided = oracle.coin(("mixed-view", ctx.input, seen))
+        return (seen, decided)
+
+    def choose(ctx, state):
+        return state[1]
+
+    device = FunctionDevice(init, send, transition, choose)
+    return {u: device for u in triangle().nodes}
+
+
+class TestOracle:
+    def test_oracle_is_deterministic(self):
+        oracle = SeededOracle(7)
+        assert oracle.choice("k", (0, 1, 2)) == oracle.choice("k", (0, 1, 2))
+
+    def test_different_keys_vary(self):
+        oracle = SeededOracle(7)
+        picks = {oracle.coin(i) for i in range(32)}
+        assert picks == {0, 1}
+
+    def test_different_seeds_vary(self):
+        values = {SeededOracle(s).coin("x") for s in range(32)}
+        assert values == {0, 1}
+
+
+class TestNondeterministicRefutation:
+    def test_every_resolution_is_refuted(self):
+        witnesses = refute_nondeterministic(
+            triangle(),
+            coin_flip_family,
+            max_faults=1,
+            rounds=2,
+            oracle_seeds=range(12),
+        )
+        assert len(witnesses) == 12
+        assert all(w.found for w in witnesses)
+
+    def test_witnesses_can_differ_across_resolutions(self):
+        witnesses = refute_nondeterministic(
+            triangle(),
+            coin_flip_family,
+            max_faults=1,
+            rounds=2,
+            oracle_seeds=range(12),
+        )
+        broken_labels = {
+            tuple(c.label for c in w.violated) for w in witnesses
+        }
+        # Different coins break the chain in different places; at least
+        # the engine must not be trivially insensitive to the oracle.
+        assert broken_labels  # non-empty; usually more than one pattern

@@ -1,0 +1,94 @@
+"""Stress tests: larger fault budgets and nonlinear clock families."""
+
+import pytest
+
+from repro.core import (
+    SynchronizationSetting,
+    refute_clock_sync,
+    refute_node_bound,
+)
+from repro.graphs import complete_graph
+from repro.problems import ByzantineAgreementSpec
+from repro.protocols import (
+    LowerEnvelopeClockDevice,
+    MajorityVoteDevice,
+    eig_devices,
+)
+from repro.runtime.sync import RandomLiarDevice, make_system, run
+from repro.runtime.timed import LinearClock, PowerClock
+from repro.runtime.timed.clocks import ComposedClock, compose
+
+
+@pytest.mark.slow
+class TestLargerFaultBudgets:
+    def test_eig_three_faults_on_k10(self):
+        g = complete_graph(10)
+        devices = dict(eig_devices(g, 3))
+        for i, node in enumerate(("n7", "n8", "n9")):
+            devices[node] = RandomLiarDevice(seed=50 + i)
+        inputs = {u: i % 2 for i, u in enumerate(g.nodes)}
+        behavior = run(make_system(g, devices, inputs), 4)
+        correct = [f"n{i}" for i in range(7)]
+        verdict = ByzantineAgreementSpec().check(
+            inputs, behavior.decisions(), correct
+        )
+        assert verdict.ok, verdict.describe()
+
+    def test_engine_refutes_k9_three_faults(self):
+        g = complete_graph(9)  # 9 <= 3f for f = 3
+        witness = refute_node_bound(
+            g,
+            {u: MajorityVoteDevice() for u in g.nodes},
+            max_faults=3,
+            rounds=3,
+        )
+        assert witness.found
+        for checked in witness.checked:
+            assert len(checked.constructed.correct_nodes) >= 6
+
+
+class TestNonlinearClocks:
+    def test_power_clock_composition_path(self):
+        """p = t², q = 1.44·t² exercise the generic ComposedClock
+        machinery: h = p⁻¹∘q is effectively 1.2·t but computed through
+        compositions and inverses, not LinearClock shortcuts."""
+        p = PowerClock(scale=1.0, exponent=2.0)
+        q = PowerClock(scale=1.44, exponent=2.0)
+        from repro.runtime.timed.clocks import drift_map
+
+        h = drift_map(p, q)
+        assert isinstance(h, ComposedClock)
+        for t in (1.0, 2.0, 5.0):
+            assert h(t) == pytest.approx(1.2 * t)
+            assert h.inverse()(h(t)) == pytest.approx(t)
+
+    @pytest.mark.slow
+    def test_clock_engine_with_power_clocks(self):
+        """Theorem 8 with quadratic hardware clocks: the engine's
+        choose_k / iterate / scaling chain must survive a nonlinear
+        (but exactly invertible) clock family."""
+        p = PowerClock(scale=1.0, exponent=2.0)
+        q = PowerClock(scale=1.44, exponent=2.0)
+        lower = LinearClock(1.0, 0.0)  # l(c) = c (on clock readings)
+        upper = LinearClock(1.0, 12.0)
+        setting = SynchronizationSetting(
+            p=p, q=q, lower=lower, upper=upper, alpha=0.5, t_prime=1.0
+        )
+        from repro.graphs import triangle
+
+        factories = {
+            u: (lambda: LowerEnvelopeClockDevice(lower))
+            for u in triangle().nodes
+        }
+        witness = refute_clock_sync(
+            factories, setting, verify_indices=(0,)
+        )
+        assert witness.found
+        assert all(
+            c["all_match"] for c in witness.extra["scaling_checks"]
+        )
+
+    def test_compose_mixed_families(self):
+        mixed = compose(LinearClock(2.0, 1.0), PowerClock(1.0, 2.0))
+        assert mixed(3.0) == pytest.approx(2.0 * 9.0 + 1.0)
+        assert mixed.inverse()(mixed(3.0)) == pytest.approx(3.0)

@@ -1,0 +1,128 @@
+"""Connectivity bounds for weak agreement and the firing squad — the
+cyclic m-fold cover construction."""
+
+import pytest
+
+from repro.core import (
+    refute_firing_squad_connectivity,
+    refute_weak_agreement_connectivity,
+)
+from repro.graphs import (
+    CyclicCover,
+    connectivity_cyclic_cover,
+    cut_partition_for_connectivity,
+    cyclic_cover,
+    diamond,
+    is_covering,
+    ring,
+    verify_covering,
+)
+from repro.protocols import ExchangeOnceWeakDevice, RelayFireDevice
+
+
+class TestCyclicCover:
+    def test_diamond_stretches_into_long_cycle(self):
+        g = diamond()
+        side_a, cut_b, side_c, cut_d = cut_partition_for_connectivity(g, 1)
+        cover = connectivity_cyclic_cover(
+            g, cut_b, cut_d, side_a, side_c, copies=6
+        )
+        assert cover.fold == 6
+        assert len(cover.covering.cover) == 24
+        verify_covering(
+            cover.covering.cover, cover.covering.base, cover.covering.phi
+        )
+
+    def test_two_copies_match_double_cover_shape(self):
+        g = diamond()
+        side_a, cut_b, side_c, cut_d = cut_partition_for_connectivity(g, 1)
+        cover = connectivity_cyclic_cover(
+            g, cut_b, cut_d, side_a, side_c, copies=2
+        )
+        cg = cover.covering.cover
+        # The double cover of the diamond is the 8-ring.
+        assert len(cg) == 8
+        assert all(cg.degree(u) == 2 for u in cg.nodes)
+        assert cg.is_connected()
+
+    def test_generic_cyclic_cover_is_covering(self):
+        g = ring(5)
+        crossed = [("r0", "r1")]
+        cover = cyclic_cover(g, crossed, copies=4)
+        assert is_covering(
+            cover.covering.cover, cover.covering.base, cover.covering.phi
+        )
+
+    def test_copy_of_wraps(self):
+        g = ring(5)
+        cover = cyclic_cover(g, [("r0", "r1")], copies=3)
+        assert cover.copy_of("r0", 3) == cover.copy_of("r0", 0)
+
+    def test_minimum_copies(self):
+        from repro.graphs import CoveringError
+
+        with pytest.raises(CoveringError):
+            cyclic_cover(ring(5), [("r0", "r1")], copies=1)
+
+
+class TestWeakConnectivity:
+    def test_diamond_refuted(self):
+        g = diamond()
+        witness = refute_weak_agreement_connectivity(
+            g,
+            {u: (lambda: ExchangeOnceWeakDevice(decide_at=2.0)) for u in g.nodes},
+            max_faults=1,
+            delta=1.0,
+            decision_deadline=3.0,
+        )
+        assert witness.found
+        assert witness.extra["copies"] == 4 * witness.extra["k"]
+        # Middles of the two halves decide their half's value.
+        by_copy = {}
+        for row in witness.extra["middles"]:
+            by_copy.setdefault(row["copy"], set()).add(row["decision"])
+        k = witness.extra["k"]
+        assert by_copy[k] == {1}
+        assert by_copy[3 * k] == {0}
+
+    def test_ring_of_six_refuted(self):
+        # n = 6 >= 3f+1 but κ = 2 < 3: inadequate only by connectivity.
+        g = ring(6)
+        witness = refute_weak_agreement_connectivity(
+            g,
+            {u: (lambda: ExchangeOnceWeakDevice(decide_at=3.0)) for u in g.nodes},
+            max_faults=1,
+            delta=1.0,
+            decision_deadline=4.0,
+        )
+        assert witness.found
+
+    def test_violations_at_half_boundaries(self):
+        g = diamond()
+        witness = refute_weak_agreement_connectivity(
+            g,
+            {u: (lambda: ExchangeOnceWeakDevice(decide_at=2.0)) for u in g.nodes},
+            max_faults=1,
+            delta=1.0,
+            decision_deadline=3.0,
+        )
+        assert 1 <= len(witness.violated) <= 6
+
+
+class TestFiringSquadConnectivity:
+    def test_diamond_refuted(self):
+        g = diamond()
+        witness = refute_firing_squad_connectivity(
+            g,
+            {u: (lambda: RelayFireDevice(fire_at=3.5)) for u in g.nodes},
+            max_faults=1,
+            delta=1.0,
+            fire_deadline=4.0,
+        )
+        assert witness.found
+        k = witness.extra["k"]
+        fire_by_copy = {}
+        for row in witness.extra["middles"]:
+            fire_by_copy.setdefault(row["copy"], set()).add(row["fire_time"])
+        assert fire_by_copy[k] == {witness.extra["fire_time"]}
+        assert witness.extra["fire_time"] not in fire_by_copy[3 * k]

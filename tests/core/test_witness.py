@@ -1,0 +1,65 @@
+"""Witness structure tests."""
+
+import pytest
+
+from repro.core import NoViolationFound, refute_node_bound
+from repro.core.witness import CheckedBehavior, ImpossibilityWitness
+from repro.graphs import triangle
+from repro.problems.spec import SpecVerdict, Violation
+from repro.protocols import MajorityVoteDevice
+
+
+def make_witness():
+    g = triangle()
+    return refute_node_bound(
+        g, {u: MajorityVoteDevice() for u in g.nodes}, 1, rounds=3
+    )
+
+
+class TestWitness:
+    def test_violated_filters(self):
+        witness = make_witness()
+        assert witness.found
+        assert all(not c.verdict.ok for c in witness.violated)
+        assert len(witness.violated) < len(witness.checked)
+
+    def test_describe_contains_everything(self):
+        text = make_witness().describe()
+        assert "E1" in text and "E2" in text and "E3" in text
+        assert "VIOLATED" in text and "OK" in text
+        assert "chain links" in text
+
+    def test_require_found_passthrough(self):
+        witness = make_witness()
+        assert witness.require_found() is witness
+
+    def test_require_found_raises_when_clean(self):
+        g = triangle()
+        clean = ImpossibilityWitness(
+            problem="p",
+            bound="b",
+            graph=g,
+            max_faults=1,
+            checked=(),
+        )
+        with pytest.raises(NoViolationFound):
+            clean.require_found()
+
+    def test_checked_behavior_label(self):
+        witness = make_witness()
+        first = witness.checked[0]
+        assert isinstance(first, CheckedBehavior)
+        assert first.label == first.constructed.label
+
+
+class TestVerdictPlumbing:
+    def test_spec_verdict_bool(self):
+        assert SpecVerdict(())
+        assert not SpecVerdict((Violation("x", "broken"),))
+
+    def test_violation_str_with_nodes(self):
+        v = Violation("agreement", "nope", ("a", "b"))
+        assert "agreement" in str(v) and "a, b" in str(v)
+
+    def test_describe_clean(self):
+        assert "satisfied" in SpecVerdict(()).describe()

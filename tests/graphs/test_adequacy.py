@@ -1,0 +1,84 @@
+"""Tests of the adequate/inadequate classification."""
+
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    classify,
+    complete_graph,
+    diamond,
+    is_adequate,
+    is_inadequate,
+    max_tolerable_faults,
+    required_connectivity,
+    required_nodes,
+    ring,
+    triangle,
+    wheel,
+)
+
+
+class TestBounds:
+    def test_required_nodes(self):
+        assert required_nodes(1) == 4
+        assert required_nodes(2) == 7
+
+    def test_required_connectivity(self):
+        assert required_connectivity(1) == 3
+        assert required_connectivity(3) == 7
+
+    def test_zero_faults_rejected(self):
+        with pytest.raises(GraphError):
+            required_nodes(0)
+
+
+class TestClassification:
+    def test_triangle_inadequate_for_one_fault(self):
+        assert is_inadequate(triangle(), 1)
+
+    def test_k4_adequate_for_one_fault(self):
+        assert is_adequate(complete_graph(4), 1)
+
+    def test_diamond_inadequate_by_connectivity(self):
+        report = classify(diamond(), 1)
+        assert report.enough_nodes
+        assert not report.enough_connectivity
+        assert not report.adequate
+
+    def test_k7_adequate_for_two_faults(self):
+        assert is_adequate(complete_graph(7), 2)
+
+    def test_k6_inadequate_for_two_faults(self):
+        report = classify(complete_graph(6), 2)
+        assert not report.enough_nodes
+
+    def test_ring_always_inadequate(self):
+        # Rings have connectivity 2 < 3 = 2f+1 for any f >= 1.
+        assert is_inadequate(ring(10), 1)
+
+    def test_describe_mentions_both_conditions(self):
+        text = classify(triangle(), 1).describe()
+        assert "3f+1" in text and "2f+1" in text
+        assert "INADEQUATE" in text
+
+    def test_tiny_graph_rejected(self):
+        from repro.graphs import CommunicationGraph
+
+        g = CommunicationGraph(["a", "b"], [("a", "b")])
+        with pytest.raises(GraphError):
+            classify(g, 1)
+
+
+class TestMaxTolerableFaults:
+    def test_complete_graphs(self):
+        assert max_tolerable_faults(complete_graph(4)) == 1
+        assert max_tolerable_faults(complete_graph(7)) == 2
+        assert max_tolerable_faults(complete_graph(10)) == 3
+
+    def test_node_rich_but_connectivity_poor(self):
+        # Wheel on 9 rim nodes: n = 10 allows f = 3 by nodes, but the
+        # connectivity is only 3, allowing f = 1.
+        assert max_tolerable_faults(wheel(9)) == 1
+
+    def test_triangle_tolerates_nothing(self):
+        assert max_tolerable_faults(triangle()) == 0

@@ -1,0 +1,129 @@
+"""Graph-builder tests."""
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    butterfly_network,
+    circulant,
+    complete_bipartite,
+    complete_graph,
+    diamond,
+    line,
+    node_connectivity,
+    random_connected_graph,
+    ring,
+    star,
+    triangle,
+    wheel,
+)
+
+
+class TestBuilders:
+    def test_complete(self):
+        g = complete_graph(5)
+        assert len(g) == 5 and g.is_complete()
+
+    def test_triangle_nodes(self):
+        assert triangle().nodes == ("a", "b", "c")
+
+    def test_diamond_structure(self):
+        g = diamond()
+        assert not g.has_edge("a", "c")
+        assert not g.has_edge("b", "d")
+        assert g.degree("a") == 2
+
+    def test_ring_degrees(self):
+        g = ring(6)
+        assert all(g.degree(u) == 2 for u in g.nodes)
+
+    def test_line_endpoints(self):
+        g = line(4)
+        assert g.degree("l0") == 1 and g.degree("l3") == 1
+
+    def test_wheel_hub(self):
+        g = wheel(5)
+        assert g.degree("whub") == 5
+
+    def test_star(self):
+        g = star(3)
+        assert g.degree("shub") == 3
+        assert node_connectivity(g) == 1
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(2, 3)
+        assert len(g) == 5
+        assert g.degree("bL0") == 3
+
+    def test_circulant_connectivity(self):
+        assert node_connectivity(circulant(8, [1])) == 2
+        assert node_connectivity(circulant(8, [1, 2])) == 4
+
+    def test_circulant_rejects_empty_offsets(self):
+        with pytest.raises(GraphError):
+            circulant(8, [0])
+
+    def test_butterfly_is_adequate(self):
+        from repro.graphs import is_adequate
+
+        for f in (1, 2, 3):
+            assert is_adequate(butterfly_network(f), f)
+
+    def test_random_graph_is_connected_and_deterministic(self):
+        g1 = random_connected_graph(10, 0.2, random.Random(5))
+        g2 = random_connected_graph(10, 0.2, random.Random(5))
+        assert g1.is_connected()
+        assert g1 == g2
+
+    @pytest.mark.parametrize(
+        "builder,args",
+        [(ring, (2,)), (line, (1,)), (wheel, (2,)), (star, (1,)),
+         (complete_graph, (0,)), (complete_bipartite, (0, 3))],
+    )
+    def test_size_guards(self, builder, args):
+        with pytest.raises(GraphError):
+            builder(*args)
+
+
+class TestHararyGraphs:
+    @pytest.mark.parametrize(
+        "k,n", [(2, 7), (3, 8), (3, 9), (4, 10), (5, 11), (5, 12)]
+    )
+    def test_exact_connectivity(self, k, n):
+        from repro.graphs import harary_graph
+
+        assert node_connectivity(harary_graph(k, n)) == k
+
+    @pytest.mark.parametrize(
+        "k,n", [(2, 7), (3, 8), (3, 9), (4, 10), (5, 11)]
+    )
+    def test_optimal_edge_count(self, k, n):
+        import math
+
+        from repro.graphs import harary_graph
+
+        g = harary_graph(k, n)
+        assert len(g.undirected_edges) == math.ceil(k * n / 2)
+
+    def test_cheapest_adequate(self):
+        from repro.graphs import cheapest_adequate_graph, is_adequate
+
+        for n, f in [(4, 1), (7, 2), (10, 3), (9, 2)]:
+            g = cheapest_adequate_graph(n, f)
+            assert is_adequate(g, f)
+
+    def test_cheapest_adequate_rejects_node_shortage(self):
+        from repro.graphs import cheapest_adequate_graph
+
+        with pytest.raises(GraphError):
+            cheapest_adequate_graph(6, 2)
+
+    def test_harary_guards(self):
+        from repro.graphs import harary_graph
+
+        with pytest.raises(GraphError):
+            harary_graph(5, 5)
+        with pytest.raises(GraphError):
+            harary_graph(0, 5)

@@ -1,0 +1,122 @@
+"""Unit tests for the communication-graph core (paper Section 2)."""
+
+import pytest
+
+from repro.graphs import CommunicationGraph, GraphError, triangle
+
+
+class TestConstruction:
+    def test_edges_come_in_directed_pairs(self):
+        g = CommunicationGraph(["a", "b"], [("a", "b")])
+        assert ("a", "b") in g.edges
+        assert ("b", "a") in g.edges
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            CommunicationGraph(["a", "a"], [])
+
+    def test_self_loops_rejected(self):
+        with pytest.raises(GraphError):
+            CommunicationGraph(["a"], [("a", "a")])
+
+    def test_edge_to_unknown_node_rejected(self):
+        with pytest.raises(GraphError):
+            CommunicationGraph(["a"], [("a", "b")])
+
+    def test_duplicate_undirected_edges_collapse(self):
+        g = CommunicationGraph(["a", "b"], [("a", "b"), ("b", "a")])
+        assert len(g.edges) == 2
+
+    def test_from_undirected_infers_nodes(self):
+        g = CommunicationGraph.from_undirected([("x", "y"), ("y", "z")])
+        assert set(g.nodes) == {"x", "y", "z"}
+
+    def test_node_order_preserved(self):
+        g = CommunicationGraph(["c", "a", "b"], [])
+        assert g.nodes == ("c", "a", "b")
+
+
+class TestAccessors:
+    def test_neighbors_symmetric(self):
+        g = triangle()
+        for u in g.nodes:
+            assert set(g.out_neighbors(u)) == set(g.in_neighbors(u))
+
+    def test_degree(self):
+        g = triangle()
+        assert all(g.degree(u) == 2 for u in g.nodes)
+        assert g.min_degree() == 2
+
+    def test_outedges_inedges(self):
+        g = triangle()
+        assert ("a", "b") in g.outedges("a")
+        assert ("b", "a") in g.inedges("a")
+
+    def test_contains(self):
+        g = triangle()
+        assert "a" in g
+        assert "z" not in g
+
+    def test_unknown_node_raises(self):
+        g = triangle()
+        with pytest.raises(GraphError):
+            g.neighbors("nope")
+
+    def test_is_complete(self):
+        assert triangle().is_complete()
+        path = CommunicationGraph(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert not path.is_complete()
+
+    def test_equality_and_hash(self):
+        g1 = triangle()
+        g2 = CommunicationGraph(
+            ["c", "b", "a"], [("a", "b"), ("b", "c"), ("c", "a")]
+        )
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+
+
+class TestSubgraphsAndBorders:
+    def test_subgraph_keeps_internal_edges(self):
+        g = triangle()
+        sub = g.subgraph(["a", "b"])
+        assert set(sub.nodes) == {"a", "b"}
+        assert sub.has_edge("a", "b")
+
+    def test_inedge_border_is_incoming_only(self):
+        g = triangle()
+        border = g.inedge_border(["a", "b"])
+        assert border == {("c", "a"), ("c", "b")}
+
+    def test_outedge_border(self):
+        g = triangle()
+        border = g.outedge_border(["a"])
+        assert border == {("a", "b"), ("a", "c")}
+
+    def test_inedge_border_of_everything_is_empty(self):
+        g = triangle()
+        assert g.inedge_border(g.nodes) == frozenset()
+
+
+class TestConnectivityHelpers:
+    def test_reachability_with_removal(self):
+        g = CommunicationGraph(
+            ["a", "b", "c"], [("a", "b"), ("b", "c")]
+        )
+        assert g.reachable_from("a") == {"a", "b", "c"}
+        assert g.reachable_from("a", removed=["b"]) == {"a"}
+
+    def test_is_connected(self):
+        connected = triangle()
+        assert connected.is_connected()
+        disconnected = CommunicationGraph(["a", "b", "c"], [("a", "b")])
+        assert not disconnected.is_connected()
+
+    def test_relabel(self):
+        g = triangle().relabel({"a": "x"})
+        assert "x" in g
+        assert g.has_edge("x", "b")
+
+    def test_relabel_requires_injective(self):
+        with pytest.raises(GraphError):
+            triangle().relabel({"a": "b"})

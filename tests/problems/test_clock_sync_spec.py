@@ -1,0 +1,74 @@
+"""ClockSyncSpec tests."""
+
+import pytest
+
+from repro.problems import ClockSyncSpec
+from repro.runtime.timed import LinearClock
+
+
+def make_spec(alpha=0.5, t_prime=1.0):
+    return ClockSyncSpec(
+        p=LinearClock(1.0, 0.0),
+        q=LinearClock(2.0, 0.0),
+        lower=LinearClock(1.0, 0.0),  # l(t) = t
+        upper=LinearClock(1.0, 5.0),  # u(t) = t + 5
+        alpha=alpha,
+        t_prime=t_prime,
+    )
+
+
+class TestClockSyncSpec:
+    def test_trivial_skew(self):
+        spec = make_spec()
+        # l(q(t)) - l(p(t)) = 2t - t = t.
+        assert spec.trivial_skew(3.0) == pytest.approx(3.0)
+        assert spec.agreement_bound(3.0) == pytest.approx(2.5)
+
+    def test_agreement_pass_and_fail(self):
+        spec = make_spec()
+        logical = {
+            "a": lambda t: t,
+            "b": lambda t: t + 2.0,
+        }
+        assert spec.check_agreement_at(logical, ["a", "b"], 3.0).ok
+        tight = {
+            "a": lambda t: t,
+            "b": lambda t: t + 2.9,
+        }
+        verdict = spec.check_agreement_at(tight, ["a", "b"], 3.0)
+        assert not verdict.ok
+        assert verdict.violations[0].condition == "agreement"
+
+    def test_agreement_before_t_prime_rejected(self):
+        spec = make_spec(t_prime=2.0)
+        with pytest.raises(ValueError):
+            spec.check_agreement_at({"a": lambda t: t}, ["a"], 1.0)
+
+    def test_validity(self):
+        spec = make_spec()
+        inside = {"a": lambda t: 1.5 * t}
+        assert spec.check_validity_at(inside, ["a"], 2.0).ok
+        below = {"a": lambda t: 0.5 * t}
+        verdict = spec.check_validity_at(below, ["a"], 2.0)
+        assert not verdict.ok
+        assert verdict.violations[0].condition == "validity"
+        above = {"a": lambda t: 3.0 * t + 10}
+        assert not spec.check_validity_at(above, ["a"], 2.0).ok
+
+    def test_check_at_combines(self):
+        spec = make_spec()
+        logical = {"a": lambda t: t, "b": lambda t: 0.1 * t}
+        verdict = spec.check_at(logical, ["a", "b"], 3.0)
+        conditions = {v.condition for v in verdict.violations}
+        assert "validity" in conditions
+
+    def test_check_at_before_t_prime_skips_agreement(self):
+        spec = make_spec(t_prime=10.0)
+        logical = {"a": lambda t: t, "b": lambda t: t + 100.0}
+        verdict = spec.check_at(logical, ["a", "b"], 5.0)
+        conditions = {v.condition for v in verdict.violations}
+        assert "agreement" not in conditions
+
+    def test_alpha_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_spec(alpha=0.0)

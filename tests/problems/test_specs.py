@@ -1,0 +1,216 @@
+"""Unit tests for the problem specification checkers."""
+
+import pytest
+
+from repro.problems import (
+    ByzantineAgreementSpec,
+    EpsilonDeltaGammaSpec,
+    FiringSquadSpec,
+    SimpleApproximateAgreementSpec,
+    WeakAgreementSpec,
+)
+
+
+class TestByzantineSpec:
+    spec = ByzantineAgreementSpec()
+
+    def test_clean_pass(self):
+        verdict = self.spec.check(
+            inputs={"a": 1, "b": 1, "c": 1},
+            decisions={"a": 1, "b": 1, "c": 1},
+            correct=["a", "b", "c"],
+        )
+        assert verdict.ok
+
+    def test_agreement_violation(self):
+        verdict = self.spec.check(
+            inputs={"a": 1, "b": 0},
+            decisions={"a": 1, "b": 0},
+            correct=["a", "b"],
+        )
+        assert not verdict.ok
+        assert verdict.violations[0].condition == "agreement"
+
+    def test_validity_violation(self):
+        verdict = self.spec.check(
+            inputs={"a": 1, "b": 1},
+            decisions={"a": 0, "b": 0},
+            correct=["a", "b"],
+        )
+        conditions = {v.condition for v in verdict.violations}
+        assert "validity" in conditions
+
+    def test_mixed_inputs_allow_any_common_value(self):
+        verdict = self.spec.check(
+            inputs={"a": 1, "b": 0},
+            decisions={"a": 0, "b": 0},
+            correct=["a", "b"],
+        )
+        assert verdict.ok
+
+    def test_termination_violation(self):
+        verdict = self.spec.check(
+            inputs={"a": 1, "b": 1},
+            decisions={"a": 1, "b": None},
+            correct=["a", "b"],
+        )
+        conditions = {v.condition for v in verdict.violations}
+        assert "termination" in conditions
+
+    def test_faulty_nodes_ignored(self):
+        verdict = self.spec.check(
+            inputs={"a": 1, "b": 1, "c": 0},
+            decisions={"a": 1, "b": 1, "c": 0},
+            correct=["a", "b"],
+        )
+        assert verdict.ok
+
+
+class TestWeakSpec:
+    spec = WeakAgreementSpec()
+
+    def test_validity_only_when_all_correct(self):
+        inputs = {"a": 1, "b": 1}
+        decisions = {"a": 0, "b": 0}
+        with_fault = self.spec.check(
+            inputs, decisions, correct=["a", "b"], all_correct=False
+        )
+        assert with_fault.ok
+        without_fault = self.spec.check(
+            inputs, decisions, correct=["a", "b"], all_correct=True
+        )
+        assert not without_fault.ok
+
+    def test_agreement_always_binds(self):
+        verdict = self.spec.check(
+            {"a": 1, "b": 0},
+            {"a": 1, "b": 0},
+            correct=["a", "b"],
+            all_correct=False,
+        )
+        assert not verdict.ok
+
+
+class TestSimpleApproximateSpec:
+    spec = SimpleApproximateAgreementSpec()
+
+    def test_outputs_must_contract(self):
+        verdict = self.spec.check(
+            inputs={"a": 0.0, "b": 1.0},
+            decisions={"a": 0.0, "b": 1.0},
+            correct=["a", "b"],
+        )
+        assert not verdict.ok
+        assert verdict.violations[0].condition == "agreement"
+
+    def test_contraction_passes(self):
+        verdict = self.spec.check(
+            inputs={"a": 0.0, "b": 1.0},
+            decisions={"a": 0.4, "b": 0.6},
+            correct=["a", "b"],
+        )
+        assert verdict.ok
+
+    def test_equal_inputs_demand_equal_outputs(self):
+        verdict = self.spec.check(
+            inputs={"a": 0.5, "b": 0.5},
+            decisions={"a": 0.5, "b": 0.500001},
+            correct=["a", "b"],
+        )
+        assert not verdict.ok
+
+    def test_validity_range(self):
+        verdict = self.spec.check(
+            inputs={"a": 0.2, "b": 0.4},
+            decisions={"a": 0.5, "b": 0.3},
+            correct=["a", "b"],
+        )
+        conditions = {v.condition for v in verdict.violations}
+        assert "validity" in conditions
+
+
+class TestEpsilonDeltaGammaSpec:
+    def test_requires_positive_parameters(self):
+        with pytest.raises(ValueError):
+            EpsilonDeltaGammaSpec(0, 1, 1)
+
+    def test_input_promise_enforced(self):
+        spec = EpsilonDeltaGammaSpec(0.5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            spec.check(
+                {"a": 0.0, "b": 2.0}, {"a": 0.0, "b": 2.0}, ["a", "b"]
+            )
+
+    def test_agreement_epsilon(self):
+        spec = EpsilonDeltaGammaSpec(0.5, 1.0, 1.0)
+        verdict = spec.check(
+            {"a": 0.0, "b": 1.0}, {"a": 0.0, "b": 1.0}, ["a", "b"]
+        )
+        assert not verdict.ok
+        assert verdict.violations[0].condition == "agreement"
+
+    def test_validity_gamma(self):
+        spec = EpsilonDeltaGammaSpec(0.5, 1.0, 0.25)
+        verdict = spec.check(
+            {"a": 0.0, "b": 0.5}, {"a": 0.9, "b": 0.9}, ["a", "b"]
+        )
+        conditions = {v.condition for v in verdict.violations}
+        assert "validity" in conditions
+
+    def test_echo_passes_when_epsilon_geq_delta(self):
+        spec = EpsilonDeltaGammaSpec(1.0, 1.0, 0.5)
+        verdict = spec.check(
+            {"a": 0.0, "b": 1.0}, {"a": 0.0, "b": 1.0}, ["a", "b"]
+        )
+        assert verdict.ok
+
+
+class TestFiringSquadSpec:
+    spec = FiringSquadSpec()
+
+    def test_simultaneous_fire_passes(self):
+        verdict = self.spec.check(
+            inputs={"a": 1, "b": 0, "c": 0},
+            fire_times={"a": 3.0, "b": 3.0, "c": 3.0},
+            correct=["a", "b", "c"],
+            all_correct=True,
+        )
+        assert verdict.ok
+
+    def test_straggler_violates_agreement(self):
+        verdict = self.spec.check(
+            inputs={"a": 1, "b": 0},
+            fire_times={"a": 3.0, "b": 4.0},
+            correct=["a", "b"],
+            all_correct=False,
+        )
+        assert not verdict.ok
+        assert verdict.violations[0].condition == "agreement"
+
+    def test_never_firing_with_stimulus_violates_validity(self):
+        verdict = self.spec.check(
+            inputs={"a": 1, "b": 0},
+            fire_times={"a": None, "b": None},
+            correct=["a", "b"],
+            all_correct=True,
+        )
+        assert not verdict.ok
+        assert verdict.violations[0].condition == "validity"
+
+    def test_firing_without_stimulus_violates_validity(self):
+        verdict = self.spec.check(
+            inputs={"a": 0, "b": 0},
+            fire_times={"a": 1.0, "b": 1.0},
+            correct=["a", "b"],
+            all_correct=True,
+        )
+        assert not verdict.ok
+
+    def test_silence_without_stimulus_passes(self):
+        verdict = self.spec.check(
+            inputs={"a": 0, "b": 0},
+            fire_times={"a": None, "b": None},
+            correct=["a", "b"],
+            all_correct=True,
+        )
+        assert verdict.ok

@@ -1,0 +1,210 @@
+"""The reproduction's central property: for EVERY deterministic device
+family, the impossibility engines produce a violating correct behavior.
+
+Hypothesis generates random device families — random decision rules,
+random gossip payloads, random decision rounds — and the engines must
+refute all of them.  This is the executable form of "we assume a given
+problem can be solved ... and derive a contradiction" quantified over
+implementations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    NoViolationFound,
+    refute_epsilon_delta,
+    refute_node_bound,
+    refute_simple_node_bound,
+)
+from repro.graphs import triangle
+from repro.problems import ByzantineAgreementSpec
+from repro.protocols import eig_devices
+from repro.runtime.sync import FunctionDevice, make_system, run
+
+TRIANGLE = triangle()
+
+
+def hashed_choice(seed, observations, options):
+    """A deterministic pseudo-random function of the observations."""
+    digest = hash((seed, observations)) & 0xFFFFFFFF
+    return options[digest % len(options)]
+
+
+@st.composite
+def gossip_agreement_devices(draw):
+    """A family of devices that gossip for a few rounds and then decide
+    by a seeded deterministic rule over everything they saw."""
+    rounds = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 2**20))
+    rule = draw(
+        st.sampled_from(["majority", "min", "max", "first", "hash"])
+    )
+
+    def init(ctx):
+        return ((), None)
+
+    def send(ctx, state, r):
+        if r >= rounds:
+            return {}
+        seen, _ = state
+        return {p: (ctx.input, len(seen)) for p in ctx.ports}
+
+    def decide(ctx, seen):
+        values = [ctx.input] + [m[0] for _, m in seen if m is not None]
+        if rule == "majority":
+            ones = sum(1 for v in values if v == 1)
+            return 1 if ones * 2 > len(values) else 0
+        if rule == "min":
+            return min(values)
+        if rule == "max":
+            return max(values)
+        if rule == "first":
+            return values[0]
+        return hashed_choice(seed, tuple(values), (0, 1))
+
+    def transition(ctx, state, r, inbox):
+        seen, decided = state
+        if r < rounds:
+            seen = seen + tuple(
+                sorted(inbox.items(), key=lambda kv: str(kv[0]))
+            )
+        if r == rounds - 1 and decided is None:
+            decided = decide(ctx, seen)
+        return (seen, decided)
+
+    def choose(ctx, state):
+        return state[1]
+
+    return FunctionDevice(init, send, transition, choose), rounds
+
+
+class TestTheorem1IsUniversal:
+    @given(gossip_agreement_devices())
+    @settings(max_examples=40, deadline=None)
+    def test_every_device_family_is_refuted(self, device_and_rounds):
+        device, rounds = device_and_rounds
+        devices = {u: device for u in TRIANGLE.nodes}
+        witness = refute_node_bound(
+            TRIANGLE, devices, 1, rounds=rounds + 1, require_violation=False
+        )
+        assert witness.found, (
+            "an agreement device family survived the covering argument — "
+            "impossible if the engine is sound"
+        )
+
+    @given(gossip_agreement_devices())
+    @settings(max_examples=20, deadline=None)
+    def test_chain_structure_always_present(self, device_and_rounds):
+        device, rounds = device_and_rounds
+        witness = refute_node_bound(
+            TRIANGLE,
+            {u: device for u in TRIANGLE.nodes},
+            1,
+            rounds=rounds + 1,
+            require_violation=False,
+        )
+        assert len(witness.checked) == 3
+        assert len(witness.links) == 2
+        for checked in witness.checked:
+            assert len(checked.constructed.correct_nodes) == 2
+
+
+@st.composite
+def averaging_devices(draw):
+    """Real-valued devices: one exchange, then a random affine blend of
+    min/max/own — plausible approximate-agreement attempts."""
+    w_min = draw(st.floats(0.0, 1.0))
+    w_max = draw(st.floats(0.0, 1.0 - w_min))
+    w_own = 1.0 - w_min - w_max
+
+    def init(ctx):
+        return (None, None)
+
+    def send(ctx, state, r):
+        if r == 0:
+            return {p: float(ctx.input) for p in ctx.ports}
+        return {}
+
+    def transition(ctx, state, r, inbox):
+        value, decided = state
+        if r == 0:
+            pool = [float(ctx.input)] + [
+                float(v)
+                for v in inbox.values()
+                if isinstance(v, (int, float))
+            ]
+            value = (
+                w_min * min(pool) + w_max * max(pool) + w_own * float(ctx.input)
+            )
+            decided = value
+        return (value, decided)
+
+    def choose(ctx, state):
+        return state[1]
+
+    return FunctionDevice(init, send, transition, choose)
+
+
+class TestTheorems5And6AreUniversal:
+    @given(averaging_devices())
+    @settings(max_examples=30, deadline=None)
+    def test_simple_approximate_always_refuted(self, device):
+        witness = refute_simple_node_bound(
+            TRIANGLE,
+            {u: device for u in TRIANGLE.nodes},
+            1,
+            rounds=2,
+            require_violation=False,
+        )
+        assert witness.found
+
+    @given(averaging_devices())
+    @settings(max_examples=10, deadline=None)
+    def test_epsilon_delta_always_refuted(self, device):
+        witness = refute_epsilon_delta(
+            {u: device for u in TRIANGLE.nodes},
+            epsilon=0.5,
+            delta=1.0,
+            gamma=1.0,
+            rounds=2,
+            require_violation=False,
+        )
+        assert witness.found
+
+
+class TestEIGIsUniversallyCorrect:
+    """The dual property: on the adequate K4, EIG survives every replay
+    adversary built from hypothesis-chosen scripts."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 1), st.integers(0, 1), st.integers(0, 1)
+            ),
+            min_size=2,
+            max_size=2,
+        ),
+        st.tuples(st.integers(0, 1), st.integers(0, 1), st.integers(0, 1)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_eig_survives_arbitrary_scripts(self, script_rows, inputs):
+        from repro.graphs import complete_graph
+        from repro.runtime.sync import ReplayDevice
+
+        g = complete_graph(4)
+        devices = dict(eig_devices(g, 1))
+        scripts = {
+            f"n{i}": [row[i] for row in script_rows] for i in range(3)
+        }
+        devices["n3"] = ReplayDevice(scripts)
+        input_map = {
+            "n0": inputs[0],
+            "n1": inputs[1],
+            "n2": inputs[2],
+            "n3": 0,
+        }
+        behavior = run(make_system(g, devices, input_map), 2)
+        verdict = ByzantineAgreementSpec().check(
+            input_map, behavior.decisions(), ["n0", "n1", "n2"]
+        )
+        assert verdict.ok, verdict.describe()

@@ -1,0 +1,140 @@
+"""Property-based tests on graphs, connectivity, and coverings."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    classify,
+    complete_graph,
+    double_cover,
+    is_covering,
+    max_tolerable_faults,
+    node_bound_double_cover,
+    node_connectivity,
+    partition_for_node_bound,
+    random_connected_graph,
+    ring_cover_of_triangle,
+    verify_covering,
+)
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=3, max_nodes=9):
+    n = draw(st.integers(min_nodes, max_nodes))
+    seed = draw(st.integers(0, 2**16))
+    p = draw(st.floats(0.05, 0.7))
+    return random_connected_graph(n, p, random.Random(seed))
+
+
+class TestConnectivityProperties:
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_connectivity_at_most_min_degree(self, g):
+        assert node_connectivity(g) <= g.min_degree()
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_removing_min_cut_disconnects(self, g):
+        from repro.graphs import global_min_cut
+
+        if g.is_complete():
+            return
+        cut = global_min_cut(g)
+        survivors = [u for u in g.nodes if u not in cut]
+        assert survivors
+        reach = g.reachable_from(survivors[0], removed=cut)
+        assert reach != set(survivors)
+
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_removing_fewer_than_kappa_never_disconnects(self, g):
+        kappa = node_connectivity(g)
+        if kappa <= 1:
+            return
+        rng = random.Random(0)
+        nodes = list(g.nodes)
+        for _ in range(5):
+            removed = rng.sample(nodes, kappa - 1)
+            survivors = [u for u in nodes if u not in removed]
+            reach = g.reachable_from(survivors[0], removed=removed)
+            assert reach == set(survivors)
+
+
+class TestAdequacyProperties:
+    @given(st.integers(1, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_complete_3f_plus_1_is_exactly_adequate(self, f):
+        assert classify(complete_graph(3 * f + 1), f).adequate
+        if 3 * f >= 3:
+            assert not classify(complete_graph(3 * f), f).adequate
+
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_max_tolerable_faults_is_tight(self, g):
+        f = max_tolerable_faults(g)
+        if f >= 1:
+            assert classify(g, f).adequate
+        assert not classify(g, f + 1).adequate
+
+
+class TestCoveringProperties:
+    @given(connected_graphs(min_nodes=3, max_nodes=8))
+    @settings(max_examples=30, deadline=None)
+    def test_double_cover_always_covers(self, g):
+        edges = sorted(
+            {frozenset(e) for e in g.edges}, key=lambda s: sorted(map(str, s))
+        )
+        crossed = [tuple(edges[0])] if edges else []
+        dc = double_cover(g, crossed)
+        verify_covering(dc.covering.cover, g, dc.covering.phi)
+
+    @given(connected_graphs(min_nodes=3, max_nodes=9), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_node_bound_cover_when_inadequate(self, g, f):
+        if len(g) > 3 * f:
+            return
+        a, b, c = partition_for_node_bound(g, f)
+        dc = node_bound_double_cover(g, a, b, c)
+        assert len(dc.covering.cover) == 2 * len(g)
+        # Fibers all have exactly two elements.
+        assert all(len(dc.covering.fiber(w)) == 2 for w in g.nodes)
+
+    @given(st.integers(2, 12))
+    @settings(max_examples=12, deadline=None)
+    def test_ring_covers_of_all_sizes(self, m):
+        cm = ring_cover_of_triangle(3 * m)
+        assert is_covering(cm.cover, cm.base, cm.phi)
+
+    @given(connected_graphs(min_nodes=3, max_nodes=7))
+    @settings(max_examples=20, deadline=None)
+    def test_identity_is_always_a_covering(self, g):
+        assert is_covering(g, g, {u: u for u in g.nodes})
+
+
+class TestCyclicAndHararyProperties:
+    @given(connected_graphs(min_nodes=3, max_nodes=7), st.integers(2, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_cyclic_cover_always_covers(self, g, copies):
+        from repro.graphs import cyclic_cover, verify_covering
+
+        edges = sorted(
+            {frozenset(e) for e in g.edges},
+            key=lambda s: sorted(map(str, s)),
+        )
+        crossed = [tuple(sorted(edges[0], key=str))] if edges else []
+        cover = cyclic_cover(g, crossed, copies)
+        verify_covering(
+            cover.covering.cover, cover.covering.base, cover.covering.phi
+        )
+        assert len(cover.covering.cover) == copies * len(g)
+
+    @given(st.integers(2, 6), st.integers(7, 14))
+    @settings(max_examples=25, deadline=None)
+    def test_harary_connectivity_is_exact(self, k, n):
+        from repro.graphs import harary_graph
+
+        if n <= k:
+            return
+        assert node_connectivity(harary_graph(k, n)) == k

@@ -1,0 +1,136 @@
+"""Property-based tests for protocols and the collapse construction."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import complete_graph, random_connected_graph
+from repro.problems import ByzantineAgreementSpec
+from repro.protocols import (
+    MajorityVoteDevice,
+    eig_devices,
+    fault_tolerant_midpoint,
+    trimmed_mean,
+)
+from repro.protocols.reliable_broadcast import reliable_broadcast_devices
+from repro.runtime.sync import ReplayDevice, make_system, run
+from repro.runtime.sync.collapse import collapse_system, verify_collapse
+
+SPEC = ByzantineAgreementSpec()
+
+
+class TestTrimmedAggregates:
+    @given(
+        st.lists(st.floats(-100, 100), min_size=4, max_size=12),
+        st.integers(1, 2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_trimmed_mean_within_untrimmed_range(self, values, trim):
+        if len(values) <= 2 * trim:
+            return
+        result = trimmed_mean(values, trim)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=4, max_size=12),
+        st.integers(1, 2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_midpoint_within_trimmed_range(self, values, trim):
+        if len(values) <= 2 * trim:
+            return
+        kept = sorted(values)[trim : len(values) - trim]
+        result = fault_tolerant_midpoint(values, trim)
+        assert kept[0] - 1e-9 <= result <= kept[-1] + 1e-9
+
+    @given(st.lists(st.floats(0, 1), min_size=5, max_size=9))
+    @settings(max_examples=40, deadline=None)
+    def test_trim_bounds_outlier_influence(self, honest):
+        """One arbitrary outlier cannot push the f=1 trimmed mean
+        outside the honest range."""
+        for outlier in (-1e9, 1e9):
+            pool = honest + [outlier]
+            result = trimmed_mean(pool, 1)
+            assert min(honest) - 1e-9 <= result <= max(honest) + 1e-9
+
+
+class TestCollapseProjection:
+    @given(st.integers(0, 2**16), st.integers(6, 9))
+    @settings(max_examples=20, deadline=None)
+    def test_projection_exact_on_random_graphs(self, seed, n):
+        rng = random.Random(seed)
+        g = random_connected_graph(n, 0.5, rng)
+        devices = {u: MajorityVoteDevice() for u in g.nodes}
+        inputs = {u: rng.randint(0, 1) for u in g.nodes}
+        system = make_system(g, devices, inputs)
+        nodes = list(g.nodes)
+        rng.shuffle(nodes)
+        third = max(1, n // 3)
+        partition = [
+            nodes[:third],
+            nodes[third : 2 * third],
+            nodes[2 * third :],
+        ]
+        quotient, _ = collapse_system(system, partition)
+        original = run(system, 2)
+        collapsed = run(quotient, 2)
+        order = {
+            f"group{i}": list(part) for i, part in enumerate(partition)
+        }
+        assert verify_collapse(original, collapsed, order)
+
+
+class TestBroadcastConsistency:
+    @given(
+        st.tuples(
+            st.sampled_from(["X", "Y", None]),
+            st.sampled_from(["X", "Y", None]),
+            st.sampled_from(["X", "Y", None]),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_equivocating_sender_never_splits(self, faces):
+        """Whatever the faulty sender SENDs to each peer, correct nodes
+        never accept two different values, and totality holds."""
+        g = complete_graph(4)
+        devices, rounds = reliable_broadcast_devices(g, "n0", 1)
+        devices = dict(devices)
+        scripts = {}
+        for peer, face in zip(("n1", "n2", "n3"), faces):
+            if face is not None:
+                scripts[peer] = [("SEND", face)]
+        devices["n0"] = ReplayDevice(scripts)
+        inputs = {u: None for u in g.nodes}
+        behavior = run(make_system(g, devices, inputs), rounds)
+        accepted = [behavior.decision(u) for u in ("n1", "n2", "n3")]
+        non_null = {v for v in accepted if v is not None}
+        assert len(non_null) <= 1
+        if non_null:
+            assert all(v is not None for v in accepted)
+
+
+class TestEIGValidityProperty:
+    @given(
+        st.integers(0, 2**10),
+        st.tuples(*(st.integers(0, 1) for _ in range(6))),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_k7_two_replay_adversaries(self, seed, inputs):
+        rng = random.Random(seed)
+        g = complete_graph(7)
+        devices = dict(eig_devices(g, 2))
+        for node in ("n5", "n6"):
+            devices[node] = ReplayDevice(
+                {
+                    f"n{i}": [rng.randint(0, 1) for _ in range(3)]
+                    for i in range(7)
+                    if f"n{i}" != node
+                }
+            )
+        input_map = {f"n{i}": inputs[i] for i in range(6)}
+        input_map["n6"] = 0
+        behavior = run(make_system(g, devices, input_map), 3)
+        correct = [f"n{i}" for i in range(5)]
+        verdict = SPEC.check(input_map, behavior.decisions(), correct)
+        assert verdict.ok, verdict.describe()

@@ -1,0 +1,136 @@
+"""Property-based tests for the timed model: clock algebra round
+trips, scaling invariance, and universal refutation of timed devices."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import refute_weak_agreement
+from repro.graphs import triangle
+from repro.protocols import ExchangeOnceWeakDevice
+from repro.runtime.timed import (
+    LinearClock,
+    PowerClock,
+    compose,
+    drift_map,
+    make_timed_system,
+    run_timed,
+)
+from repro.runtime.timed.device import TimedDevice
+
+rates = st.floats(0.1, 10.0, allow_nan=False, allow_infinity=False)
+offsets = st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False)
+times = st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False)
+
+
+class TestClockAlgebraProperties:
+    @given(rates, offsets, times)
+    @settings(max_examples=60, deadline=None)
+    def test_linear_inverse_roundtrip(self, rate, offset, t):
+        clock = LinearClock(rate, offset)
+        assert clock.inverse()(clock(t)) == (
+            __import__("pytest").approx(t, abs=1e-6)
+        )
+
+    @given(rates, offsets, rates, offsets, times)
+    @settings(max_examples=60, deadline=None)
+    def test_compose_matches_nesting(self, r1, o1, r2, o2, t):
+        outer, inner = LinearClock(r1, o1), LinearClock(r2, o2)
+        composed = compose(outer, inner)
+        assert math.isclose(
+            composed(t), outer(inner(t)), rel_tol=1e-9, abs_tol=1e-6
+        )
+
+    @given(rates, st.integers(-5, 5), times)
+    @settings(max_examples=60, deadline=None)
+    def test_iterate_adds_exponents(self, rate, k, t):
+        h = LinearClock(rate, 0.0)
+        expected = (rate ** k) * t
+        assume(abs(expected) < 1e12)
+        assert math.isclose(
+            h.iterate(k)(t), expected, rel_tol=1e-6, abs_tol=1e-6
+        )
+
+    @given(rates, rates, times)
+    @settings(max_examples=60, deadline=None)
+    def test_drift_map_dominates_identity(self, p_rate, gap, t):
+        p = LinearClock(p_rate, 0.0)
+        q = LinearClock(p_rate * (1.0 + abs(gap) / 10.0 + 1e-6), 0.0)
+        h = drift_map(p, q)
+        assert h(t) >= t - 1e-9
+
+    @given(st.floats(0.1, 4.0), st.floats(0.2, 3.0), st.floats(0.01, 50.0))
+    @settings(max_examples=40, deadline=None)
+    def test_power_clock_roundtrip(self, scale, exponent, t):
+        clock = PowerClock(scale, exponent)
+        assert math.isclose(
+            clock.inverse()(clock(t)), t, rel_tol=1e-6, abs_tol=1e-6
+        )
+
+
+class _EchoDevice(TimedDevice):
+    """Sends the input at start; decides the first thing it hears."""
+
+    def __init__(self):
+        self._decided = False
+
+    def on_start(self, ctx, api):
+        for port in ctx.ports:
+            api.send(port, ctx.input)
+
+    def on_message(self, ctx, api, port, message):
+        if not self._decided:
+            self._decided = True
+            api.decide((port, message))
+
+
+class TestScalingProperty:
+    @given(st.floats(0.2, 5.0), st.floats(0.1, 2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_scaled_runs_mirror_unscaled(self, h_rate, delay):
+        g = triangle()
+
+        def build():
+            return make_timed_system(
+                g,
+                {u: _EchoDevice for u in g.nodes},
+                {u: u for u in g.nodes},
+                delay=delay,
+                delay_mode="clock",
+                clocks={u: LinearClock(1.0, 0.0) for u in g.nodes},
+            )
+
+        h = LinearClock(h_rate, 0.0)
+        horizon = 4.0 * delay
+        base = run_timed(build(), horizon)
+        scaled = run_timed(build().scaled(h), h.inverse()(horizon))
+        for u in g.nodes:
+            base_events = base.node(u).events
+            scaled_events = scaled.node(u).events
+            assert len(base_events) == len(scaled_events)
+            for a, b in zip(base_events, scaled_events):
+                assert a.kind == b.kind and a.payload == b.payload
+                assert math.isclose(
+                    b.time, h.inverse()(a.time), rel_tol=1e-9, abs_tol=1e-9
+                )
+
+
+class TestWeakAgreementUniversality:
+    @given(st.floats(1.5, 4.0), st.integers(0, 1))
+    @settings(max_examples=8, deadline=None)
+    def test_exchange_family_always_refuted(self, decide_at, default):
+        witness = refute_weak_agreement(
+            {
+                u: (
+                    lambda d=decide_at, df=default: ExchangeOnceWeakDevice(
+                        decide_at=d, default=df
+                    )
+                )
+                for u in triangle().nodes
+            },
+            delta=1.0,
+            decision_deadline=decide_at + 0.5,
+            require_violation=False,
+        )
+        assert witness.found

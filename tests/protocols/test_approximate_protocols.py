@@ -1,0 +1,142 @@
+"""DLPSW iterated averaging, Mahaney–Schneider inexact agreement, and
+phase king — positive protocols on adequate graphs."""
+
+import pytest
+
+from repro.graphs import GraphError, complete_graph
+from repro.problems import (
+    ByzantineAgreementSpec,
+    EpsilonDeltaGammaSpec,
+    SimpleApproximateAgreementSpec,
+)
+from repro.protocols import (
+    dlpsw_devices,
+    fault_tolerant_midpoint,
+    inexact_devices,
+    phase_king_devices,
+    rounds_for_target,
+    trimmed_mean,
+)
+from repro.runtime.sync import RandomLiarDevice, SilentDevice, make_system, run
+
+
+def spread(values):
+    return max(values) - min(values)
+
+
+class TestTrimmedMean:
+    def test_basic(self):
+        assert trimmed_mean([0.0, 1.0, 2.0, 100.0], 1) == pytest.approx(1.5)
+
+    def test_requires_enough_values(self):
+        with pytest.raises(GraphError):
+            trimmed_mean([1.0, 2.0], 1)
+
+    def test_midpoint(self):
+        assert fault_tolerant_midpoint([0.0, 4.0, 10.0, 100.0], 1) == (
+            pytest.approx(7.0)
+        )
+
+
+class TestDLPSW:
+    def _run(self, n, f, rounds, inputs, faulty=()):
+        g = complete_graph(n)
+        devices = dict(dlpsw_devices(g, f, rounds))
+        for node, bad in dict(faulty).items():
+            devices[node] = bad
+        input_map = {u: inputs[i] for i, u in enumerate(g.nodes)}
+        system = make_system(g, devices, input_map)
+        behavior = run(system, rounds)
+        correct = [u for u in g.nodes if u not in dict(faulty)]
+        return input_map, behavior, correct
+
+    def test_contracts_without_faults(self):
+        inputs, behavior, correct = self._run(4, 1, 3, (0.0, 0.3, 0.7, 1.0))
+        verdict = SimpleApproximateAgreementSpec().check(
+            inputs, behavior.decisions(), correct
+        )
+        assert verdict.ok, verdict.describe()
+
+    def test_contracts_under_byzantine_fault(self):
+        inputs, behavior, correct = self._run(
+            4, 1, 4, (0.0, 0.5, 1.0, 0.0), faulty={"n3": RandomLiarDevice(2)}
+        )
+        decisions = [behavior.decision(u) for u in correct]
+        assert spread(decisions) < spread([inputs[u] for u in correct])
+        low = min(inputs[u] for u in correct)
+        high = max(inputs[u] for u in correct)
+        assert all(low <= d <= high for d in decisions)
+
+    def test_convergence_is_geometric(self):
+        rounds = 6
+        inputs, behavior, correct = self._run(
+            7, 2, rounds, (0.0, 0.1, 0.4, 0.6, 0.9, 1.0, 0.5),
+            faulty={"n5": RandomLiarDevice(9), "n6": SilentDevice()},
+        )
+        decisions = [behavior.decision(u) for u in correct]
+        # Five honest values, two trims; after six rounds the spread
+        # should be far below the initial 1.0.
+        assert spread(decisions) < 0.1
+
+    def test_rejects_inadequate(self):
+        with pytest.raises(GraphError):
+            dlpsw_devices(complete_graph(3), 1, 2)
+
+
+class TestInexact:
+    def test_rounds_for_target(self):
+        assert rounds_for_target(1.0, 0.25) == 2
+        assert rounds_for_target(1.0, 1.0) == 1
+
+    def test_achieves_epsilon_under_fault(self):
+        epsilon, delta, gamma = 0.25, 1.0, 0.5
+        g = complete_graph(4)
+        devices = dict(inexact_devices(g, 1, epsilon, delta))
+        devices["n3"] = RandomLiarDevice(4)
+        inputs = {"n0": 0.0, "n1": 0.6, "n2": 1.0, "n3": 0.5}
+        rounds = rounds_for_target(delta, epsilon)
+        behavior = run(make_system(g, devices, inputs), rounds)
+        verdict = EpsilonDeltaGammaSpec(epsilon, delta, gamma).check(
+            inputs, behavior.decisions(), ["n0", "n1", "n2"]
+        )
+        assert verdict.ok, verdict.describe()
+
+
+class TestPhaseKing:
+    def _run(self, n, f, inputs, faulty=()):
+        g = complete_graph(n)
+        devices = dict(phase_king_devices(g, f))
+        for node, bad in dict(faulty).items():
+            devices[node] = bad
+        input_map = {u: inputs[i] for i, u in enumerate(g.nodes)}
+        behavior = run(make_system(g, devices, input_map), 2 * (f + 1))
+        correct = [u for u in g.nodes if u not in dict(faulty)]
+        return ByzantineAgreementSpec().check(
+            input_map, behavior.decisions(), correct
+        )
+
+    @pytest.mark.parametrize(
+        "inputs", [(1, 1, 1, 1, 1), (0, 0, 0, 0, 0), (1, 0, 1, 0, 1)]
+    )
+    def test_five_nodes_fault_free(self, inputs):
+        assert self._run(5, 1, inputs).ok
+
+    @pytest.mark.parametrize("bad", ["n0", "n4"], ids=["king-first", "late"])
+    def test_five_nodes_one_liar(self, bad):
+        verdict = self._run(
+            5, 1, (1, 1, 0, 0, 1), faulty={bad: RandomLiarDevice(11)}
+        )
+        assert verdict.ok, verdict.describe()
+
+    def test_nine_nodes_two_faults(self):
+        verdict = self._run(
+            9,
+            2,
+            (1, 0, 1, 0, 1, 0, 1, 0, 1),
+            faulty={"n7": RandomLiarDevice(1), "n8": SilentDevice()},
+        )
+        assert verdict.ok, verdict.describe()
+
+    def test_rejects_n_leq_4f(self):
+        with pytest.raises(GraphError):
+            phase_king_devices(complete_graph(4), 1)

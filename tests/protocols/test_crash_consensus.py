@@ -1,0 +1,81 @@
+"""FloodSet under crash faults: agreement where Byzantine agreement is
+impossible — isolating the Fault axiom's role in the bounds."""
+
+import pytest
+
+from repro.graphs import GraphError, complete_graph, is_inadequate, triangle
+from repro.problems import ByzantineAgreementSpec
+from repro.protocols.crash_consensus import floodset_devices
+from repro.runtime.sync import CrashDevice, make_system, run
+
+SPEC = ByzantineAgreementSpec()
+
+
+def run_floodset(n, f, inputs, crash_at=()):
+    g = complete_graph(n)
+    devices = dict(floodset_devices(g, f))
+    for node, when in dict(crash_at).items():
+        devices[node] = CrashDevice(devices[node], crash_round=when)
+    input_map = {u: inputs[i] for i, u in enumerate(g.nodes)}
+    behavior = run(make_system(g, devices, input_map), f + 1)
+    correct = [u for u in g.nodes if u not in dict(crash_at)]
+    return SPEC.check(input_map, behavior.decisions(), correct), behavior
+
+
+class TestFloodSet:
+    def test_three_nodes_one_crash(self):
+        """The headline contrast: n = 3, f = 1 is INADEQUATE for
+        Byzantine faults (Theorem 1) yet trivial for crash faults."""
+        assert is_inadequate(triangle(), 1)
+        for crash_round in (0, 1):
+            verdict, _ = run_floodset(
+                3, 1, (1, 0, 1), crash_at={"n2": crash_round}
+            )
+            assert verdict.ok, verdict.describe()
+
+    def test_fault_free(self):
+        verdict, behavior = run_floodset(4, 1, (1, 0, 1, 0))
+        assert verdict.ok
+        # Deterministic rule: min value seen.
+        assert set(behavior.decisions().values()) == {0}
+
+    def test_unanimous_validity(self):
+        verdict, behavior = run_floodset(
+            4, 2, (1, 1, 1, 1), crash_at={"n3": 0, "n2": 1}
+        )
+        assert verdict.ok
+        assert behavior.decision("n0") == 1
+
+    @pytest.mark.parametrize("staggered", [(0, 0), (0, 1), (1, 2), (2, 2)])
+    def test_two_staggered_crashes(self, staggered):
+        verdict, _ = run_floodset(
+            5,
+            2,
+            (1, 0, 1, 0, 1),
+            crash_at={"n3": staggered[0], "n4": staggered[1]},
+        )
+        assert verdict.ok, verdict.describe()
+
+    def test_n_equals_f_plus_1(self):
+        # Even two nodes, one crash: the survivor agrees with itself.
+        verdict, _ = run_floodset(2, 1, (1, 0), crash_at={"n1": 0})
+        assert verdict.ok
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(GraphError):
+            floodset_devices(complete_graph(2), 2)
+
+
+class TestWhyTheEngineDoesNotApply:
+    def test_byzantine_engine_still_refutes_floodset(self):
+        """FloodSet is NOT Byzantine-tolerant: handed to Theorem 1's
+        engine as a candidate (where faults may masquerade), it falls
+        like everything else.  Crash-tolerance ≠ Byzantine-tolerance —
+        the Fault axiom is exactly the difference."""
+        from repro.core import refute_node_bound
+
+        g = triangle()
+        devices = {u: floodset_devices(complete_graph(3), 1)["n0"]
+                   for u in g.nodes}
+        witness = refute_node_bound(g, devices, 1, rounds=3)
+        assert witness.found

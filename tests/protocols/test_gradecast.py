@@ -1,0 +1,87 @@
+"""Gradecast: graded consistency under honest and equivocating
+dealers."""
+
+import pytest
+
+from repro.graphs import GraphError, complete_graph
+from repro.protocols.gradecast import gradecast_devices
+from repro.runtime.sync import (
+    RandomLiarDevice,
+    ReplayDevice,
+    SilentDevice,
+    make_system,
+    run,
+)
+
+
+def gradecast(n, f, dealer_value, faulty=(), dealer="n0"):
+    g = complete_graph(n)
+    devices, rounds = gradecast_devices(g, dealer, f)
+    devices = dict(devices)
+    for node, bad in dict(faulty).items():
+        devices[node] = bad
+    inputs = {u: (dealer_value if u == dealer else None) for u in g.nodes}
+    behavior = run(make_system(g, devices, inputs), rounds)
+    correct = [u for u in g.nodes if u not in dict(faulty)]
+    return {u: behavior.decision(u) for u in correct}
+
+
+class TestHonestDealer:
+    def test_everyone_grade_two(self):
+        outputs = gradecast(4, 1, "V")
+        assert set(outputs.values()) == {("V", 2)}
+
+    def test_with_lying_bystander(self):
+        outputs = gradecast(4, 1, 9, faulty={"n3": RandomLiarDevice(2)})
+        assert set(outputs.values()) == {(9, 2)}
+
+    def test_with_silent_bystander_k7(self):
+        outputs = gradecast(
+            7, 2, "x",
+            faulty={"n5": SilentDevice(), "n6": RandomLiarDevice(8)},
+        )
+        assert set(outputs.values()) == {("x", 2)}
+
+
+class TestFaultyDealer:
+    def _graded_consistency(self, outputs):
+        """If anyone has grade 2, all have the same value, grade >= 1."""
+        values = list(outputs.values())
+        if any(grade == 2 for _, grade in values):
+            top = {v for v, g in values if g == 2}
+            assert len(top) == 1
+            (winner,) = top
+            assert all(v == winner and g >= 1 for v, g in values)
+        graded = {v for v, g in values if g >= 1}
+        assert len(graded) <= 1  # soundness
+
+    def test_silent_dealer_grades_zero(self):
+        outputs = gradecast(4, 1, None, faulty={"n0": SilentDevice()})
+        assert set(outputs.values()) == {(None, 0)}
+
+    @pytest.mark.parametrize(
+        "faces",
+        [
+            ("X", "X", "Y"),
+            ("X", "Y", "Y"),
+            ("X", "Y", None),
+            ("X", "X", "X"),
+        ],
+    )
+    def test_equivocating_dealer_graded_consistency(self, faces):
+        scripts = {}
+        for peer, face in zip(("n1", "n2", "n3"), faces):
+            if face is not None:
+                scripts[peer] = [("DEAL", face)]
+        outputs = gradecast(4, 1, None, faulty={"n0": ReplayDevice(scripts)})
+        self._graded_consistency(outputs)
+
+
+class TestGuards:
+    def test_rejects_inadequate(self):
+        with pytest.raises(GraphError):
+            gradecast_devices(complete_graph(3), "n0", 1)
+
+    def test_rejects_unknown_dealer(self):
+        with pytest.raises(GraphError):
+            gradecast_devices(complete_graph(4), "zz", 1)

@@ -1,0 +1,87 @@
+"""Unit tests of the naive devices (the engines' candidates)."""
+
+import pytest
+
+from repro.graphs import complete_graph, triangle
+from repro.protocols import (
+    EchoInputDevice,
+    MajorityVoteDevice,
+    MedianDevice,
+    MidpointDevice,
+    MinimumDevice,
+)
+from repro.runtime.sync import make_system, run, uniform_system
+
+
+def decisions(device, inputs, rounds=2, graph=None):
+    g = graph or triangle()
+    input_map = dict(zip(g.nodes, inputs))
+    behavior = run(uniform_system(g, device, input_map), rounds)
+    return behavior.decisions()
+
+
+class TestMajorityVote:
+    def test_unanimous(self):
+        assert set(decisions(MajorityVoteDevice(), (1, 1, 1)).values()) == {1}
+
+    def test_majority_wins(self):
+        result = decisions(MajorityVoteDevice(), (1, 1, 0))
+        assert all(v == 1 for v in result.values())
+
+    def test_tie_takes_default(self):
+        g = complete_graph(4)
+        result = decisions(
+            MajorityVoteDevice(default=0), (1, 1, 0, 0), graph=g
+        )
+        assert set(result.values()) == {0}
+
+    def test_decides_after_exchange_round(self):
+        g = triangle()
+        behavior = run(
+            uniform_system(g, MajorityVoteDevice(), {"a": 1, "b": 1, "c": 0}),
+            3,
+        )
+        assert all(
+            behavior.node(u).decided_at == 1 for u in g.nodes
+        )
+
+    def test_multi_round_variant(self):
+        device = MajorityVoteDevice(rounds=2)
+        result = decisions(device, (1, 1, 0), rounds=3)
+        assert all(v is not None for v in result.values())
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            MajorityVoteDevice(rounds=0)
+
+
+class TestRealValuedDevices:
+    def test_midpoint(self):
+        result = decisions(MidpointDevice(), (0.0, 1.0, 0.4))
+        assert all(v == pytest.approx(0.5) for v in result.values())
+
+    def test_median(self):
+        result = decisions(MedianDevice(), (0.0, 1.0, 0.4))
+        assert all(v == pytest.approx(0.4) for v in result.values())
+
+    def test_echo(self):
+        result = decisions(EchoInputDevice(), (0.1, 0.2, 0.3))
+        assert result["a"] == 0.1 and result["c"] == 0.3
+
+    def test_minimum(self):
+        result = decisions(MinimumDevice(), (3, 1, 2))
+        assert set(result.values()) == {1}
+
+    def test_midpoint_all_equal(self):
+        result = decisions(MidpointDevice(), (0.7, 0.7, 0.7))
+        assert all(v == pytest.approx(0.7) for v in result.values())
+
+
+class TestPortDiscipline:
+    def test_devices_only_use_known_ports(self):
+        """A naive device on any topology addresses only its ports."""
+        from repro.graphs import star
+
+        g = star(4)
+        result = decisions(MajorityVoteDevice(), (1, 0, 1, 0, 1), graph=g)
+        assert all(v is not None for v in result.values())

@@ -1,0 +1,133 @@
+"""Dolev relay over vertex-disjoint paths and Dolev–Strong
+authenticated agreement — the connectivity bound's and the Fault
+axiom's positive counterparts."""
+
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    circulant,
+    complete_graph,
+    ring,
+    triangle,
+    wheel,
+)
+from repro.problems import ByzantineAgreementSpec
+from repro.protocols import (
+    authenticated_consensus_devices,
+    relay_devices,
+    transmission_rounds,
+)
+from repro.runtime.sync import (
+    RandomLiarDevice,
+    SilentDevice,
+    TwoFacedDevice,
+    make_system,
+    run,
+)
+
+SPEC = ByzantineAgreementSpec()
+
+
+class TestRelay:
+    def _transmit(self, graph, source, target, value, faulty=()):
+        devices = dict(relay_devices(graph, source, target, max_faults=1))
+        for node, bad in dict(faulty).items():
+            assert node not in (source, target)
+            devices[node] = bad
+        inputs = {u: value if u == source else None for u in graph.nodes}
+        system = make_system(graph, devices, inputs)
+        rounds = transmission_rounds(graph, source, target, 1) + 1
+        behavior = run(system, rounds)
+        return behavior.decision(target)
+
+    def test_clean_transmission_on_k5(self):
+        g = complete_graph(5)
+        assert self._transmit(g, "n0", "n4", "payload") == "payload"
+
+    def test_tolerates_one_corrupting_intermediary(self):
+        # Circulant on 7 nodes with offsets {1,2}: connectivity 4 >= 3.
+        g = circulant(7, [1, 2])
+        source, target = "c0", "c3"
+        for bad_node in ("c1", "c2"):
+            value = self._transmit(
+                g, source, target, 42, faulty={bad_node: RandomLiarDevice(1)}
+            )
+            assert value == 42
+
+    def test_tolerates_silent_intermediary(self):
+        g = wheel(6)
+        value = self._transmit(
+            g, "w0", "w3", "m", faulty={"whub": SilentDevice()}
+        )
+        assert value == "m"
+
+    def test_insufficient_connectivity_rejected(self):
+        with pytest.raises(GraphError):
+            relay_devices(ring(6), "r0", "r3", max_faults=1)
+
+    def test_two_faults_need_five_paths(self):
+        g = circulant(11, [1, 2])  # connectivity 4 < 5
+        with pytest.raises(GraphError):
+            relay_devices(g, "c0", "c5", max_faults=2)
+        g5 = circulant(11, [1, 2, 3])  # connectivity 6 >= 5
+        devices = relay_devices(g5, "c0", "c5", max_faults=2)
+        assert len(devices) == 11
+
+
+class TestAuthenticated:
+    def _consensus(self, n, f, inputs, faulty=()):
+        g = complete_graph(n)
+        devices = dict(authenticated_consensus_devices(g, f))
+        for node, bad in dict(faulty).items():
+            devices[node] = bad
+        input_map = {u: inputs[i] for i, u in enumerate(g.nodes)}
+        system = make_system(g, devices, input_map)
+        behavior = run(system, f + 1)
+        correct = [u for u in g.nodes if u not in dict(faulty)]
+        return (
+            SPEC.check(input_map, behavior.decisions(), correct),
+            behavior,
+            correct,
+        )
+
+    def test_three_nodes_one_fault_succeeds(self):
+        """The headline: signatures beat the 3f+1 bound — agreement on
+        the *triangle* with a (non-forging) Byzantine node."""
+        verdict, _, _ = self._consensus(
+            3, 1, (1, 1, 0), faulty={"n2": SilentDevice()}
+        )
+        assert verdict.ok, verdict.describe()
+
+    def test_three_nodes_two_faced_general(self):
+        g = complete_graph(3)
+        honest = authenticated_consensus_devices(g, 1)
+        # The faulty node runs one honest persona toward each neighbor;
+        # both personas sign with n2's own key only - no forgery.
+        two_faced = TwoFacedDevice(
+            face_one=honest["n2"], face_two=honest["n2"], ports_for_one=["n0"]
+        )
+        verdict, _, _ = self._consensus(
+            3, 1, (1, 1, 0), faulty={"n2": two_faced}
+        )
+        assert verdict.ok, verdict.describe()
+
+    def test_fault_free_validity(self):
+        verdict, behavior, correct = self._consensus(3, 1, (1, 1, 1))
+        assert verdict.ok
+        assert all(behavior.decision(u) == 1 for u in correct)
+
+    def test_four_nodes_liar(self):
+        verdict, _, _ = self._consensus(
+            4, 1, (0, 0, 0, 1), faulty={"n3": RandomLiarDevice(5)}
+        )
+        assert verdict.ok
+
+    def test_triangle_is_inadequate_yet_auth_works(self):
+        from repro.graphs import is_inadequate
+
+        assert is_inadequate(triangle(), 1)
+        verdict, _, _ = self._consensus(
+            3, 1, (0, 0, 1), faulty={"n2": SilentDevice()}
+        )
+        assert verdict.ok

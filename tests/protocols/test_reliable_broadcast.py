@@ -1,0 +1,97 @@
+"""Bracha-style reliable broadcast: consistency, totality, validity at
+n >= 3f+1, under senders and participants behaving arbitrarily."""
+
+import pytest
+
+from repro.graphs import GraphError, complete_graph
+from repro.protocols.reliable_broadcast import reliable_broadcast_devices
+from repro.runtime.sync import (
+    RandomLiarDevice,
+    ReplayDevice,
+    SilentDevice,
+    make_system,
+    run,
+)
+
+
+def broadcast(n, f, sender_value, faulty=(), sender="n0"):
+    g = complete_graph(n)
+    devices, rounds = reliable_broadcast_devices(g, sender, f)
+    devices = dict(devices)
+    for node, bad in dict(faulty).items():
+        devices[node] = bad
+    inputs = {u: (sender_value if u == sender else None) for u in g.nodes}
+    behavior = run(make_system(g, devices, inputs), rounds)
+    correct = [u for u in g.nodes if u not in dict(faulty)]
+    return {u: behavior.decision(u) for u in correct}
+
+
+class TestValidity:
+    def test_correct_sender_delivers_to_all(self):
+        accepted = broadcast(4, 1, "V")
+        assert set(accepted.values()) == {"V"}
+
+    def test_with_silent_bystander(self):
+        accepted = broadcast(4, 1, 7, faulty={"n2": SilentDevice()})
+        assert set(accepted.values()) == {7}
+
+    def test_with_lying_bystander(self):
+        accepted = broadcast(
+            4, 1, "msg", faulty={"n3": RandomLiarDevice(3)}
+        )
+        assert set(accepted.values()) == {"msg"}
+
+    def test_two_faults_on_k7(self):
+        accepted = broadcast(
+            7,
+            2,
+            "payload",
+            faulty={"n5": RandomLiarDevice(1), "n6": SilentDevice()},
+        )
+        assert set(accepted.values()) == {"payload"}
+
+
+class TestConsistencyUnderFaultySender:
+    def test_silent_sender_accepts_nothing(self):
+        accepted = broadcast(4, 1, None, faulty={"n0": SilentDevice()})
+        assert set(accepted.values()) == {None}
+
+    def test_equivocating_sender_never_splits(self):
+        # The sender SENDs different values to different peers; the
+        # echo quorum (>= ceil((n+f+1)/2)) cannot form for two values.
+        equivocator = ReplayDevice(
+            {
+                "n1": [("SEND", "X")],
+                "n2": [("SEND", "X")],
+                "n3": [("SEND", "Y")],
+            }
+        )
+        accepted = broadcast(4, 1, None, faulty={"n0": equivocator})
+        values = {v for v in accepted.values() if v is not None}
+        assert len(values) <= 1  # consistency
+
+    def test_totality(self):
+        """If any correct node accepts, all do (within the horizon)."""
+        equivocator = ReplayDevice(
+            {
+                "n1": [("SEND", "X")],
+                "n2": [("SEND", "X")],
+                "n3": [("SEND", "X")],
+            }
+        )
+        accepted = broadcast(4, 1, None, faulty={"n0": equivocator})
+        anyone = any(v is not None for v in accepted.values())
+        everyone = all(v is not None for v in accepted.values())
+        assert anyone == everyone
+
+
+class TestGuards:
+    def test_rejects_inadequate_n(self):
+        g = complete_graph(3)
+        with pytest.raises(GraphError):
+            reliable_broadcast_devices(g, "n0", 1)
+
+    def test_rejects_unknown_sender(self):
+        g = complete_graph(4)
+        with pytest.raises(GraphError):
+            reliable_broadcast_devices(g, "zz", 1)

@@ -1,0 +1,105 @@
+"""Dolev's theorem, sufficiency half: EIG over disjoint-path relay
+achieves Byzantine agreement on sparse adequate graphs — exactly when
+both FLM bounds are met."""
+
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    circulant,
+    complete_graph,
+    is_adequate,
+    node_connectivity,
+    ring,
+)
+from repro.problems import ByzantineAgreementSpec
+from repro.protocols.sparse_agreement import (
+    build_routing,
+    sparse_agreement_devices,
+)
+from repro.runtime.sync import (
+    RandomLiarDevice,
+    SilentDevice,
+    make_system,
+    run,
+)
+
+SPEC = ByzantineAgreementSpec()
+
+
+def run_sparse(graph, f, inputs, faulty=()):
+    devices, rounds = sparse_agreement_devices(graph, f)
+    devices = dict(devices)
+    for node, bad in dict(faulty).items():
+        devices[node] = bad
+    input_map = {u: inputs[i] for i, u in enumerate(graph.nodes)}
+    behavior = run(make_system(graph, devices, input_map), rounds)
+    correct = [u for u in graph.nodes if u not in dict(faulty)]
+    return SPEC.check(input_map, behavior.decisions(), correct), behavior
+
+
+class TestRouting:
+    def test_routing_covers_all_pairs(self):
+        g = circulant(7, [1, 2])
+        routing, span = build_routing(g, 1)
+        assert len(routing) == 7 * 6
+        assert span >= 1
+        for (s, t), paths in routing.items():
+            assert len(paths) == 3
+            for path in paths:
+                assert path[0] == s and path[-1] == t
+
+    def test_insufficient_connectivity_rejected(self):
+        with pytest.raises(GraphError):
+            build_routing(ring(7), 1)
+
+
+class TestSparseAgreement:
+    GRAPH = circulant(7, [1, 2])  # n = 7, κ = 4: adequate for f = 1
+
+    def test_graph_is_adequate_but_sparse(self):
+        assert is_adequate(self.GRAPH, 1)
+        assert not self.GRAPH.is_complete()
+        assert node_connectivity(self.GRAPH) == 4
+
+    def test_fault_free(self):
+        verdict, _ = run_sparse(self.GRAPH, 1, (1, 0, 1, 0, 1, 0, 1))
+        assert verdict.ok, verdict.describe()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [SilentDevice(), RandomLiarDevice(17)],
+        ids=["silent", "liar"],
+    )
+    def test_one_byzantine_fault(self, bad):
+        verdict, _ = run_sparse(
+            self.GRAPH, 1, (1, 1, 1, 1, 0, 0, 0), faulty={"c3": bad}
+        )
+        assert verdict.ok, verdict.describe()
+
+    def test_unanimous_validity_under_fault(self):
+        verdict, behavior = run_sparse(
+            self.GRAPH,
+            1,
+            (1, 1, 1, 1, 1, 1, 1),
+            faulty={"c6": RandomLiarDevice(23)},
+        )
+        assert verdict.ok
+        decisions = [behavior.decision(f"c{i}") for i in range(6)]
+        assert decisions == [1] * 6
+
+    def test_complete_graph_degenerates_to_plain_eig(self):
+        g = complete_graph(4)
+        verdict, _ = run_sparse(
+            g, 1, (1, 0, 1, 0), faulty={"n3": RandomLiarDevice(2)}
+        )
+        assert verdict.ok
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(GraphError):
+            sparse_agreement_devices(complete_graph(3), 1)
+
+    def test_rejects_too_little_connectivity(self):
+        # Enough nodes (7 > 4) but a ring has κ = 2 < 3.
+        with pytest.raises(GraphError):
+            sparse_agreement_devices(ring(7), 1)

@@ -1,0 +1,156 @@
+"""Timed protocols: weak-agreement/firing-squad devices in their happy
+paths, firing squad via agreement, and averaging clock sync beating the
+trivial skew on an adequate graph."""
+
+import pytest
+
+from repro.graphs import complete_graph, triangle
+from repro.problems import FiringSquadSpec, WeakAgreementSpec
+from repro.protocols import (
+    AveragingSyncDevice,
+    ByzantineClockDevice,
+    ExchangeOnceWeakDevice,
+    LowerEnvelopeClockDevice,
+    RelayFireDevice,
+    fire_round_of,
+    firing_squad_devices,
+    max_logical_skew,
+)
+from repro.runtime.sync import RandomLiarDevice, make_system
+from repro.runtime.sync import run as run_sync
+from repro.runtime.timed import LinearClock, make_timed_system, run_timed
+
+
+class TestWeakDevicesHappyPath:
+    def test_unanimous_input_decides_input(self):
+        g = triangle()
+        factories = {
+            u: (lambda: ExchangeOnceWeakDevice(decide_at=2.0))
+            for u in g.nodes
+        }
+        for value in (0, 1):
+            behavior = run_timed(
+                make_timed_system(
+                    g, factories, {u: value for u in g.nodes}, delay=1.0
+                ),
+                horizon=3.0,
+            )
+            verdict = WeakAgreementSpec().check(
+                {u: value for u in g.nodes},
+                behavior.decisions(),
+                g.nodes,
+                all_correct=True,
+            )
+            assert verdict.ok, verdict.describe()
+
+    def test_mixed_inputs_fall_back_to_default(self):
+        g = triangle()
+        factories = {
+            u: (lambda: ExchangeOnceWeakDevice(decide_at=2.0, default=0))
+            for u in g.nodes
+        }
+        behavior = run_timed(
+            make_timed_system(
+                g, factories, {"a": 1, "b": 0, "c": 0}, delay=1.0
+            ),
+            horizon=3.0,
+        )
+        assert set(behavior.decisions().values()) == {0}
+
+
+class TestTimedFiringDevices:
+    def test_all_fire_simultaneously_with_stimulus(self):
+        g = triangle()
+        factories = {u: (lambda: RelayFireDevice(fire_at=2.5)) for u in g.nodes}
+        behavior = run_timed(
+            make_timed_system(g, factories, {"a": 1, "b": 0, "c": 0}, delay=1.0),
+            horizon=4.0,
+        )
+        verdict = FiringSquadSpec().check(
+            {"a": 1, "b": 0, "c": 0},
+            behavior.fire_times(),
+            g.nodes,
+            all_correct=True,
+        )
+        assert verdict.ok, verdict.describe()
+        assert set(behavior.fire_times().values()) == {2.5}
+
+    def test_silence_without_stimulus(self):
+        g = triangle()
+        factories = {u: (lambda: RelayFireDevice(fire_at=2.5)) for u in g.nodes}
+        behavior = run_timed(
+            make_timed_system(g, factories, {u: 0 for u in g.nodes}, delay=1.0),
+            horizon=4.0,
+        )
+        assert all(t is None for t in behavior.fire_times().values())
+
+
+class TestFiringSquadFromAgreement:
+    def test_adequate_graph_fires_in_unison_despite_fault(self):
+        g = complete_graph(4)
+        devices = dict(firing_squad_devices(g, max_faults=1))
+        devices["n3"] = RandomLiarDevice(seed=13)
+        inputs = {"n0": 1, "n1": 0, "n2": 0, "n3": 0}
+        behavior = run_sync(make_system(g, devices, inputs), rounds=4)
+        rounds_fired = {
+            fire_round_of(behavior, u) for u in ("n0", "n1", "n2")
+        }
+        assert len(rounds_fired) == 1  # simultaneous (or none)
+
+    def test_no_stimulus_no_fire(self):
+        g = complete_graph(4)
+        devices = firing_squad_devices(g, max_faults=1)
+        inputs = {u: 0 for u in g.nodes}
+        behavior = run_sync(make_system(g, devices, inputs), rounds=4)
+        assert all(fire_round_of(behavior, u) is None for u in g.nodes)
+
+    def test_stimulus_everywhere_fires_at_f_plus_2(self):
+        g = complete_graph(4)
+        devices = firing_squad_devices(g, max_faults=1)
+        inputs = {u: 1 for u in g.nodes}
+        behavior = run_sync(make_system(g, devices, inputs), rounds=4)
+        assert {fire_round_of(behavior, u) for u in g.nodes} == {3}
+
+
+class TestAveragingClockSync:
+    def _skews(self, with_byzantine):
+        g = complete_graph(4)
+        lower = LinearClock(1.0, 0.0)
+        delay = 0.125
+        clocks = {
+            "n0": LinearClock(1.0, 0.0),
+            "n1": LinearClock(1.02, 0.0),
+            "n2": LinearClock(1.05, 0.0),
+            "n3": LinearClock(1.08, 0.0),
+        }
+        factories = {
+            u: (lambda: AveragingSyncDevice(lower, 2.0, delay, max_faults=1))
+            for u in g.nodes
+        }
+        if with_byzantine:
+            factories["n3"] = lambda: ByzantineClockDevice(2.0, spread=50.0)
+        system = make_timed_system(
+            g,
+            factories,
+            {u: None for u in g.nodes},
+            delay=delay,
+            delay_mode="clock",
+            clocks=clocks,
+        )
+        behavior = run_timed(system, horizon=20.0)
+        sample_times = (10.0, 15.0, 20.0)
+        correct = ["n0", "n1", "n2"]
+        synced = max_logical_skew(behavior, correct, sample_times)
+        # Trivial skew among the same nodes at the same times.
+        trivial = max(
+            (clocks["n2"](t) - clocks["n0"](t)) for t in sample_times
+        )
+        return synced, trivial
+
+    def test_beats_trivial_skew_fault_free(self):
+        synced, trivial = self._skews(with_byzantine=False)
+        assert synced < trivial
+
+    def test_beats_trivial_skew_with_byzantine_clock(self):
+        synced, trivial = self._skews(with_byzantine=True)
+        assert synced < trivial

@@ -1,0 +1,133 @@
+"""Footnote 3's quotient construction: collapsing subsystems into
+supernodes preserves behaviors exactly."""
+
+import pytest
+
+from repro.graphs import GraphError, complete_graph
+from repro.problems import ByzantineAgreementSpec
+from repro.protocols import MajorityVoteDevice, eig_devices
+from repro.runtime.sync import make_system, run
+from repro.runtime.sync.collapse import (
+    GroupDevice,
+    collapse_system,
+    verify_collapse,
+)
+
+
+def build_k6_system():
+    g = complete_graph(6)
+    devices = {u: MajorityVoteDevice() for u in g.nodes}
+    inputs = {u: (1 if i % 2 else 0) for i, u in enumerate(g.nodes)}
+    return make_system(g, devices, inputs)
+
+
+PARTITION = [("n0", "n1"), ("n2", "n3"), ("n4", "n5")]
+
+
+class TestCollapse:
+    def test_quotient_graph_is_triangle_shaped(self):
+        system = build_k6_system()
+        quotient, member_of = collapse_system(system, PARTITION)
+        assert len(quotient.graph) == 3
+        assert quotient.graph.is_complete()
+        assert member_of["n0"] == member_of["n1"] == "group0"
+
+    def test_projection_is_exact(self):
+        """The paper's claim: behaviors of S' are the subsystem
+        behaviors of S."""
+        system = build_k6_system()
+        quotient, _ = collapse_system(system, PARTITION)
+        original = run(system, 3)
+        collapsed = run(quotient, 3)
+        order = {
+            f"group{i}": list(part) for i, part in enumerate(PARTITION)
+        }
+        assert verify_collapse(original, collapsed, order)
+
+    def test_member_decisions_recoverable(self):
+        system = build_k6_system()
+        quotient, _ = collapse_system(system, PARTITION)
+        original = run(system, 2)
+        collapsed = run(quotient, 2)
+        device = quotient.device("group0")
+        assert isinstance(device, GroupDevice)
+        final = collapsed.node("group0").states[-1]
+        for member in ("n0", "n1"):
+            assert device.member_decision(final, member) == (
+                original.decision(member)
+            )
+
+    def test_group_choose_aggregates(self):
+        system = build_k6_system()
+        quotient, _ = collapse_system(system, PARTITION)
+        collapsed = run(quotient, 2)
+        decision = collapsed.decision("group0")
+        assert decision is not None
+        assert dict(decision).keys() == {"n0", "n1"}
+
+    def test_eig_survives_collapse(self):
+        """Even a protocol as stateful as EIG projects exactly."""
+        g = complete_graph(6)
+        system = make_system(
+            g,
+            eig_devices(g, 1),
+            {u: i % 2 for i, u in enumerate(g.nodes)},
+        )
+        quotient, _ = collapse_system(system, PARTITION)
+        original = run(system, 2)
+        collapsed = run(quotient, 2)
+        order = {
+            f"group{i}": list(part) for i, part in enumerate(PARTITION)
+        }
+        assert verify_collapse(original, collapsed, order)
+
+    def test_bad_partition_rejected(self):
+        system = build_k6_system()
+        with pytest.raises(GraphError):
+            collapse_system(system, [("n0",), ("n1",)])
+        with pytest.raises(GraphError):
+            collapse_system(
+                system, [("n0", "n1"), ("n1", "n2"), ("n3", "n4", "n5")]
+            )
+
+
+class TestFootnote3Reduction:
+    """The alternative proof of the general node bound: if agreement
+    worked on K6 with f = 2, collapsing pairs would give agreement on
+    the triangle with f = 1 — and the triangle engine refutes THAT."""
+
+    def test_collapsed_devices_are_refutable_on_the_triangle(self):
+        from repro.core import refute_node_bound
+        from repro.graphs import triangle
+
+        k6 = complete_graph(6)
+        base_system = make_system(
+            k6,
+            {u: MajorityVoteDevice() for u in k6.nodes},
+            {u: 0 for u in k6.nodes},
+        )
+        quotient, _ = collapse_system(base_system, PARTITION)
+        # Rename the quotient supernodes onto the triangle and hand the
+        # GroupDevices to the f = 1 engine as candidate devices.  The
+        # group input is a pair of member inputs; use pairs everywhere.
+        from repro.runtime.sync.collapse import PortRenamedDevice
+
+        tri = triangle()
+        names = {"group0": "a", "group1": "b", "group2": "c"}
+        devices = {}
+        for group, node in names.items():
+            rename = {
+                other: names[other]
+                for other in quotient.graph.neighbors(group)
+            }
+            devices[node] = PortRenamedDevice(
+                quotient.device(group), rename
+            )
+        witness = refute_node_bound(
+            tri,
+            devices,
+            max_faults=1,
+            rounds=3,
+            inputs=((0, 0), (1, 1)),
+        )
+        assert witness.found

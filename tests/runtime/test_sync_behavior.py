@@ -1,0 +1,102 @@
+"""Sync behavior data-structure tests: prefixes, scenarios, renaming."""
+
+import pytest
+
+from repro.graphs import GraphError, triangle
+from repro.protocols import MajorityVoteDevice
+from repro.runtime.sync import run, uniform_system
+from repro.runtime.sync.behavior import EdgeBehavior, NodeBehavior
+
+
+@pytest.fixture
+def behavior():
+    g = triangle()
+    return run(
+        uniform_system(g, MajorityVoteDevice(), {"a": 1, "b": 0, "c": 0}), 3
+    )
+
+
+class TestNodeBehavior:
+    def test_rounds(self, behavior):
+        assert behavior.node("a").rounds == 3
+
+    def test_prefix_truncates_states(self, behavior):
+        nb = behavior.node("a")
+        prefix = nb.prefix(1)
+        assert prefix.states == nb.states[:2]
+
+    def test_prefix_keeps_decision_if_early(self, behavior):
+        nb = behavior.node("a")
+        assert nb.decided_at == 1
+        assert nb.prefix(1).decision == nb.decision
+        assert nb.prefix(0).decision is None
+
+    def test_prefix_beyond_length_raises(self, behavior):
+        with pytest.raises(GraphError):
+            behavior.node("a").prefix(10)
+
+    def test_manual_prefix(self):
+        nb = NodeBehavior(states=(0, 1, 2), decision="x", decided_at=2)
+        assert nb.prefix(1) == NodeBehavior(states=(0, 1))
+
+
+class TestEdgeBehavior:
+    def test_prefix(self):
+        eb = EdgeBehavior(messages=("m0", "m1", "m2"))
+        assert eb.prefix(2).messages == ("m0", "m1")
+        with pytest.raises(GraphError):
+            eb.prefix(5)
+
+    def test_rounds(self, behavior):
+        assert behavior.edge("a", "b").rounds == 3
+
+
+class TestScenario:
+    def test_scenario_contents(self, behavior):
+        scenario = behavior.scenario(["a", "b"])
+        assert set(scenario.nodes) == {"a", "b"}
+        assert set(scenario.edge_behaviors) == {("a", "b"), ("b", "a")}
+        assert set(scenario.border_behaviors) == {("c", "a"), ("c", "b")}
+
+    def test_unknown_node_rejected(self, behavior):
+        with pytest.raises(GraphError):
+            behavior.scenario(["a", "zzz"])
+
+    def test_renamed(self, behavior):
+        scenario = behavior.scenario(["a", "b"])
+        renamed = scenario.renamed({"a": "x", "b": "y"})
+        assert set(renamed.nodes) == {"x", "y"}
+        assert ("x", "y") in renamed.edge_behaviors
+        # Border source c keeps its name.
+        assert ("c", "x") in renamed.border_behaviors
+
+    def test_core_equal_ignores_border(self, behavior):
+        s1 = behavior.scenario(["a", "b"])
+        s2 = behavior.scenario(["a", "b"])
+        object.__setattr__(s2, "border_behaviors", {})
+        assert s1.core_equal(s2)
+
+    def test_core_equal_detects_difference(self, behavior):
+        s1 = behavior.scenario(["a", "b"])
+        s2 = behavior.scenario(["a", "c"])
+        assert not s1.core_equal(s2)
+
+    def test_decisions_mapping(self, behavior):
+        decisions = behavior.decisions()
+        assert set(decisions) == {"a", "b", "c"}
+        assert set(decisions.values()) == {0}
+
+
+class TestWitnessExplain:
+    def test_explain_includes_traces(self):
+        from repro.analysis.traces import explain_witness
+        from repro.core import refute_node_bound
+
+        g = triangle()
+        witness = refute_node_bound(
+            g, {u: MajorityVoteDevice() for u in g.nodes}, 1, rounds=3
+        )
+        text = explain_witness(witness)
+        assert "full trace" in text
+        assert "messages per round" in text
+        assert "decisions" in text

@@ -1,0 +1,104 @@
+"""Timed adversary devices: crash gating, silence, replay validation."""
+
+import pytest
+
+from repro.graphs import triangle
+from repro.runtime.timed import (
+    TimedCrashDevice,
+    TimedReplayDevice,
+    TimedSilentDevice,
+    make_timed_system,
+    run_timed,
+)
+from repro.runtime.timed.device import TimedDevice
+
+
+class Beacon(TimedDevice):
+    """Broadcasts a tick at clock times 1, 2, 3, ..."""
+
+    def on_start(self, ctx, api):
+        api.set_timer(("tick", 1), 1.0)
+
+    def on_timer(self, ctx, api, name):
+        _, i = name
+        for port in ctx.ports:
+            api.send(port, ("tick", i))
+        api.set_timer(("tick", i + 1), float(i + 1))
+
+
+class TestTimedCrash:
+    def _run(self, crash_time):
+        g = triangle()
+        factories = {u: Beacon for u in g.nodes}
+        factories["a"] = lambda: TimedCrashDevice(Beacon(), crash_time)
+        system = make_timed_system(
+            g, factories, {u: None for u in g.nodes}, delay=0.25
+        )
+        return run_timed(system, horizon=5.0)
+
+    def test_sends_stop_at_crash(self):
+        behavior = self._run(crash_time=2.5)
+        send_times = [t for t, _, _ in behavior.edge("a", "b").sends]
+        assert send_times and max(send_times) < 2.5
+        # Honest nodes keep ticking past the crash.
+        assert max(t for t, _, _ in behavior.edge("b", "a").sends) > 2.5
+
+    def test_crash_at_zero_is_total_silence(self):
+        behavior = self._run(crash_time=0.0)
+        assert behavior.edge("a", "b").sends == ()
+
+    def test_late_crash_is_harmless(self):
+        behavior = self._run(crash_time=100.0)
+        honest = self._run_honest()
+        assert len(behavior.edge("a", "b").sends) == len(
+            honest.edge("a", "b").sends
+        )
+
+    def _run_honest(self):
+        g = triangle()
+        system = make_timed_system(
+            g, {u: Beacon for u in g.nodes}, {u: None for u in g.nodes},
+            delay=0.25,
+        )
+        return run_timed(system, horizon=5.0)
+
+
+class TestTimedSilent:
+    def test_no_events_emitted(self):
+        g = triangle()
+        factories = {u: Beacon for u in g.nodes}
+        factories["c"] = TimedSilentDevice
+        system = make_timed_system(
+            g, factories, {u: None for u in g.nodes}, delay=0.25
+        )
+        behavior = run_timed(system, 3.0)
+        assert behavior.edge("c", "a").sends == ()
+        assert behavior.node("c").decision is None
+        assert behavior.node("c").fire_time is None
+
+
+class TestTimedReplayValidation:
+    def test_arrival_before_send_rejected(self):
+        with pytest.raises(ValueError):
+            TimedReplayDevice([(2.0, "b", "m", 1.0)])
+
+    def test_negative_send_time_rejected(self):
+        g = triangle()
+        factories = {
+            "a": (lambda: TimedReplayDevice([(-1.0, "b", "m", 0.5)])),
+            "b": Beacon,
+            "c": Beacon,
+        }
+        system = make_timed_system(
+            g, factories, {u: None for u in g.nodes}
+        )
+        from repro.runtime.timed import TimedExecutionError
+
+        with pytest.raises(TimedExecutionError):
+            run_timed(system, 1.0)
+
+    def test_script_sorted_by_time(self):
+        device = TimedReplayDevice(
+            [(2.0, "b", "late", 3.0), (1.0, "c", "early", 2.0)]
+        )
+        assert device.script[0][2] == "early"

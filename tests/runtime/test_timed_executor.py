@@ -1,0 +1,264 @@
+"""Timed executor tests, including operational checks of the
+Bounded-Delay Locality and Scaling axioms."""
+
+import pytest
+
+from repro.graphs import line, triangle
+from repro.runtime.timed import (
+    LinearClock,
+    TimedExecutionError,
+    TimedReplayDevice,
+    identity,
+    make_timed_system,
+    run_timed,
+)
+from repro.runtime.timed.device import TimedDevice
+
+
+class PingDevice(TimedDevice):
+    """Sends its input on every port at start; echoes receipts once."""
+
+    def __init__(self):
+        self.echoed = set()
+
+    def on_start(self, ctx, api):
+        for port in ctx.ports:
+            api.send(port, ("ping", ctx.input))
+
+    def on_message(self, ctx, api, port, message):
+        if port not in self.echoed and message[0] == "ping":
+            self.echoed.add(port)
+            api.send(port, ("echo", message[1]))
+
+
+class TimerDevice(TimedDevice):
+    def __init__(self, at):
+        self.at = at
+
+    def on_start(self, ctx, api):
+        api.set_timer("wake", self.at)
+
+    def on_timer(self, ctx, api, name):
+        api.decide(api.clock())
+
+
+class TestBasics:
+    def test_messages_arrive_after_delay(self):
+        g = triangle()
+        system = make_timed_system(
+            g,
+            {u: PingDevice for u in g.nodes},
+            {u: u for u in g.nodes},
+            delay=0.5,
+        )
+        behavior = run_timed(system, horizon=2.0)
+        sends = behavior.edge("a", "b").sends
+        assert sends[0][0] == 0.0 and sends[0][2] == 0.5
+        receive_times = [
+            e.time for e in behavior.node("b").events if e.kind == "receive"
+        ]
+        assert 0.5 in receive_times
+
+    def test_timer_fires_at_clock_time(self):
+        g = triangle()
+        clock = LinearClock(2.0, 0.0)  # clock runs twice real time
+        system = make_timed_system(
+            g,
+            {u: (lambda: TimerDevice(3.0)) for u in g.nodes},
+            {u: None for u in g.nodes},
+            clocks={u: clock for u in g.nodes},
+        )
+        behavior = run_timed(system, horizon=2.0)
+        # Clock value 3.0 is real time 1.5; decision records clock 3.0.
+        assert behavior.node("a").decision == pytest.approx(3.0)
+        assert behavior.node("a").decision_time == pytest.approx(1.5)
+
+    def test_past_timer_rejected(self):
+        class Bad(TimedDevice):
+            def on_start(self, ctx, api):
+                api.set_timer("now", 0.0)
+
+        g = triangle()
+        system = make_timed_system(
+            g, {u: Bad for u in g.nodes}, {u: None for u in g.nodes}
+        )
+        with pytest.raises(TimedExecutionError):
+            run_timed(system, 1.0)
+
+    def test_changed_decision_rejected(self):
+        class Fickle(TimedDevice):
+            def on_start(self, ctx, api):
+                api.set_timer("a", 1.0)
+                api.set_timer("b", 2.0)
+
+            def on_timer(self, ctx, api, name):
+                api.decide(name)
+
+        g = triangle()
+        system = make_timed_system(
+            g, {u: Fickle for u in g.nodes}, {u: None for u in g.nodes}
+        )
+        with pytest.raises(TimedExecutionError):
+            run_timed(system, 3.0)
+
+    def test_determinism(self):
+        g = triangle()
+
+        def build():
+            return make_timed_system(
+                g,
+                {u: PingDevice for u in g.nodes},
+                {u: u for u in g.nodes},
+                delay=0.25,
+            )
+
+        b1 = run_timed(build(), 2.0)
+        b2 = run_timed(build(), 2.0)
+        for u in g.nodes:
+            assert b1.node(u).events == b2.node(u).events
+
+    def test_replay_device_reproduces_script(self):
+        g = triangle()
+        script = [(0.5, "b", "hello", 1.0), (1.5, "c", "bye", 2.5)]
+        factories = {
+            "a": (lambda: TimedReplayDevice(script)),
+            "b": PingDevice,
+            "c": PingDevice,
+        }
+        system = make_timed_system(
+            g, factories, {u: 0 for u in g.nodes}, delay=1.0
+        )
+        behavior = run_timed(system, 3.0)
+        assert behavior.edge("a", "b").sends[0] == (0.5, "hello", 1.0)
+        assert behavior.edge("a", "c").sends[0] == (1.5, "bye", 2.5)
+
+
+class TestBoundedDelayLocality:
+    """Information crosses at most one edge per δ — news of a distant change
+    cannot reach a node before (distance · δ)."""
+
+    def test_news_travels_at_delta_per_hop(self):
+        class Gossip(TimedDevice):
+            def on_start(self, ctx, api):
+                if ctx.input == 1:
+                    for port in ctx.ports:
+                        api.send(port, "news")
+
+            def on_message(self, ctx, api, port, message):
+                for out in ctx.ports:
+                    if out != port:
+                        api.send(out, message)
+
+        g = line(5)
+        delta = 1.0
+
+        def build(first_input):
+            inputs = {u: 0 for u in g.nodes}
+            inputs["l0"] = first_input
+            return make_timed_system(
+                g, {u: Gossip for u in g.nodes}, inputs, delay=delta
+            )
+
+        quiet = run_timed(build(0), 5.0)
+        noisy = run_timed(build(1), 5.0)
+        # l4 is 4 hops away: behaviors identical strictly before 4δ.
+        assert noisy.node("l4").prefix_equal(quiet.node("l4"), through=3.9)
+        assert not noisy.node("l4").prefix_equal(quiet.node("l4"), through=4.1)
+
+
+class TestScalingAxiom:
+    """Running Sh equals scaling the behavior of S by h (Section 7)."""
+
+    def test_scaled_system_scales_behavior(self):
+        class ClockTalker(TimedDevice):
+            def on_start(self, ctx, api):
+                api.set_logical(lambda c: c / 2)
+                api.set_timer("t", 2.0)
+
+            def on_timer(self, ctx, api, name):
+                for port in ctx.ports:
+                    api.send(port, ("r", api.clock()))
+
+            def on_message(self, ctx, api, port, message):
+                api.decide(message[1])
+
+        g = triangle()
+        base = make_timed_system(
+            g,
+            {u: ClockTalker for u in g.nodes},
+            {u: None for u in g.nodes},
+            delay=0.5,
+            delay_mode="clock",
+            clocks={u: LinearClock(1.5, 0.0) for u in g.nodes},
+        )
+        h = LinearClock(2.0, 0.0)
+        scaled = base.scaled(h)
+        b_base = run_timed(base, 4.0)
+        b_scaled = run_timed(scaled, 2.0)  # h maps [0,2] onto [0,4]
+        h_inv = h.inverse()
+        for u in g.nodes:
+            original = [
+                e for e in b_base.node(u).events if e.time <= 4.0 + 1e-9
+            ]
+            mirrored = b_scaled.node(u).events
+            assert len(original) == len(mirrored)
+            for a, b in zip(original, mirrored):
+                assert a.kind == b.kind
+                assert b.time == pytest.approx(h_inv(a.time))
+
+    def test_scaling_requires_clock_delays(self):
+        g = triangle()
+        system = make_timed_system(
+            g,
+            {u: PingDevice for u in g.nodes},
+            {u: 0 for u in g.nodes},
+            delay_mode="real",
+        )
+        from repro.graphs import GraphError
+
+        with pytest.raises(GraphError):
+            system.scaled(LinearClock(2.0, 0.0))
+
+
+class TestClockAlgebra:
+    def test_linear_inverse(self):
+        c = LinearClock(2.0, 3.0)
+        inv = c.inverse()
+        for t in (0.0, 1.0, 7.5):
+            assert inv(c(t)) == pytest.approx(t)
+
+    def test_compose_simplifies_linear(self):
+        from repro.runtime.timed import compose
+
+        c = compose(LinearClock(2.0, 1.0), LinearClock(3.0, 0.5))
+        assert isinstance(c, LinearClock)
+        assert c(1.0) == pytest.approx(2.0 * (3.0 * 1.0 + 0.5) + 1.0)
+
+    def test_iterate(self):
+        h = LinearClock(2.0, 0.0)
+        assert h.iterate(3)(1.0) == pytest.approx(8.0)
+        assert h.iterate(-2)(8.0) == pytest.approx(2.0)
+        assert h.iterate(0)(5.0) == pytest.approx(5.0)
+
+    def test_drift_map(self):
+        from repro.runtime.timed import drift_map
+
+        p = LinearClock(1.0, 0.0)
+        q = LinearClock(1.5, 0.0)
+        h = drift_map(p, q)
+        assert h(2.0) == pytest.approx(3.0)
+        for t in (0.5, 1.0, 4.0):
+            assert h(t) >= t
+
+    def test_power_clock(self):
+        from repro.runtime.timed import PowerClock
+
+        c = PowerClock(scale=2.0, exponent=2.0)
+        assert c(3.0) == pytest.approx(18.0)
+        assert c.inverse()(c(3.0)) == pytest.approx(3.0)
+
+    def test_clock_order_check(self):
+        from repro.runtime.timed import ClockError, verify_clock_order
+
+        with pytest.raises(ClockError):
+            verify_clock_order(LinearClock(2.0, 0.0), LinearClock(1.0, 0.0))

@@ -1,0 +1,63 @@
+"""Integration: every example script runs to completion and prints the
+claims it advertises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "VIOLATED" in out
+        assert "impossibility at n = 3f, agreement at n = 3f + 1" in out
+
+    def test_byzantine_generals(self):
+        out = run_example("byzantine_generals.py")
+        assert "traitor wins" in out
+        assert "EIG holds the line" in out
+        assert "Dolev–Strong agrees" in out
+
+    def test_sensor_fusion(self):
+        out = run_example("sensor_fusion.py")
+        assert "fusion converges" in out
+        assert "Lemma 7" in out
+
+    def test_clock_synchronization(self):
+        out = run_example("clock_synchronization.py")
+        assert "averaging beats the trivial skew" in out
+        assert "Lemma 9" in out
+        assert "Corollary" in out
+
+    def test_firing_squad(self):
+        out = run_example("firing_squad_drill.py")
+        assert "clean volley" in out
+        assert "CORRECT behavior" in out
+
+    def test_adversary_lab(self):
+        out = run_example("adversary_lab.py")
+        assert "survived" in out
+        assert "broken" in out
+        assert "masquerades" in out
+
+    def test_network_design(self):
+        out = run_example("network_design.py")
+        assert "price list" in out
+        assert "Under-provisioning" in out
+        assert "all conditions satisfied" in out

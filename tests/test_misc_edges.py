@@ -1,0 +1,128 @@
+"""Odds and ends: edge paths not covered elsewhere."""
+
+import pytest
+
+from repro.analysis import format_table, hexagon_figure
+from repro.core import refute_clock_sync_connectivity, refute_node_bound
+from repro.graphs import GraphError, line, triangle
+from repro.protocols import MajorityVoteDevice
+from repro.runtime.sync import FunctionDevice, run, uniform_system
+from repro.testing import constant_device
+
+
+class TestExecutorEdges:
+    def test_decision_at_initialization(self):
+        g = triangle()
+        behavior = run(
+            uniform_system(g, constant_device(5), {u: 0 for u in g.nodes}),
+            2,
+        )
+        assert behavior.node("a").decided_at == 0
+        assert behavior.decision("a") == 5
+
+    def test_negative_rounds_rejected(self):
+        from repro.runtime.sync import ExecutionError
+
+        g = triangle()
+        system = uniform_system(
+            g, constant_device(1), {u: 0 for u in g.nodes}
+        )
+        with pytest.raises(ExecutionError):
+            run(system, -1)
+
+    def test_none_send_values_are_silence(self):
+        silent_but_present = FunctionDevice(
+            init=lambda ctx: 0,
+            send=lambda ctx, state, r: {p: None for p in ctx.ports},
+            transition=lambda ctx, state, r, inbox: state,
+        )
+        g = triangle()
+        behavior = run(
+            uniform_system(g, silent_but_present, {u: 0 for u in g.nodes}),
+            2,
+        )
+        from repro.analysis.metrics import measure
+
+        assert measure(behavior).messages == 0
+
+
+class TestDiagramsAndTables:
+    def test_hexagon_custom_inputs(self):
+        fig = hexagon_figure({"u": 9, "v": 8, "w": 7, "x": 6, "y": 5, "z": 4})
+        assert "A(9)" in fig and "C(4)" in fig
+
+    def test_table_with_no_rows(self):
+        out = format_table(("a", "b"), [])
+        assert "a" in out
+
+
+class TestEngineGuards:
+    def test_node_bound_refuses_adequate_inputs_param(self):
+        from repro.graphs import complete_graph
+
+        g = complete_graph(4)
+        with pytest.raises(GraphError):
+            refute_node_bound(
+                g,
+                {u: MajorityVoteDevice() for u in g.nodes},
+                1,
+                2,
+                inputs=("x", "y"),
+            )
+
+    def test_custom_input_values_flow_through(self):
+        g = triangle()
+        witness = refute_node_bound(
+            g,
+            {u: MajorityVoteDevice(default="no") for u in g.nodes},
+            1,
+            rounds=3,
+            inputs=("no", "yes"),
+        )
+        assert witness.found
+        seen_inputs = {
+            v
+            for checked in witness.checked
+            for v in checked.constructed.inputs.values()
+        }
+        assert seen_inputs <= {"no", "yes"}
+
+    def test_clock_connectivity_witness_describes(self):
+        from repro.core import SynchronizationSetting
+        from repro.graphs import diamond
+        from repro.protocols import LowerEnvelopeClockDevice
+        from repro.runtime.timed import LinearClock
+
+        lower = LinearClock(1.0, 0.0)
+        setting = SynchronizationSetting(
+            p=LinearClock(1.0, 0.0),
+            q=LinearClock(1.2, 0.0),
+            lower=lower,
+            upper=LinearClock(1.0, 2.0),
+            alpha=0.2,
+            t_prime=1.0,
+        )
+        g = diamond()
+        witness = refute_clock_sync_connectivity(
+            g,
+            {u: (lambda: LowerEnvelopeClockDevice(lower)) for u in g.nodes},
+            max_faults=1,
+            setting=setting,
+        )
+        text = witness.describe()
+        assert "VIOLATED" in text and "clock-synchronization" in text
+
+
+class TestGraphEdges:
+    def test_line_has_no_cycle(self):
+        g = line(3)
+        assert not g.has_edge("l0", "l2")
+
+    def test_subgraph_of_disjoint_nodes_has_no_edges(self):
+        g = triangle()
+        sub = g.subgraph(["a"])
+        assert len(sub.edges) == 0
+
+    def test_empty_inedge_border(self):
+        g = line(2)
+        assert g.inedge_border(["l0", "l1"]) == frozenset()
