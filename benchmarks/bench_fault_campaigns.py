@@ -1,0 +1,76 @@
+"""CAMPAIGN — link-fault campaigns and the graceful-degradation frontier.
+
+The impossibility engines speak about *node* faults; this bench maps
+the complementary axis the fault-injection subsystem opens: message
+loss, delay and partitions on the links.  Expected shape: the naive
+majority protocol loses agreement at a single faulty link (and the
+shrinker pins the counterexample to exactly one fault atom), while EIG
+within its ``n >= 3f + 1`` node budget survives every attempt with
+zero link budget.
+"""
+
+from conftest import report
+
+from repro.analysis import format_table
+from repro.analysis.campaign import (
+    CampaignConfig,
+    FRONTIER_HEADERS,
+    degradation_frontier,
+    run_campaign,
+)
+from repro.graphs import complete_graph
+from repro.protocols import MajorityVoteDevice, eig_devices
+
+
+def _naive_config(links, attempts=60):
+    return CampaignConfig(
+        graph=complete_graph(4),
+        device_factory=lambda g: {u: MajorityVoteDevice() for u in g.nodes},
+        rounds=2,
+        max_node_faults=0,
+        max_link_faults=links,
+        attempts=attempts,
+        seed=0,
+    )
+
+
+def test_naive_campaign_shrinks_to_one_link(benchmark):
+    result = benchmark(lambda: run_campaign(_naive_config(links=3)))
+    report("CAMPAIGN: naive majority, k = 3 links", result.describe())
+    assert result.broken
+    assert result.shrunk.plan.size == 1
+    assert len(result.shrunk.node_faults) == 0
+
+
+def test_eig_campaign_survives_node_budget(benchmark):
+    config = CampaignConfig(
+        graph=complete_graph(4),
+        device_factory=lambda g: eig_devices(g, 1),
+        rounds=2,
+        max_node_faults=1,
+        max_link_faults=0,
+        attempts=40,
+        seed=0,
+    )
+    result = benchmark(lambda: run_campaign(config))
+    report("CAMPAIGN: EIG, f = 1 nodes, k = 0 links", result.describe())
+    assert not result.broken
+
+
+def test_degradation_frontier_naive(benchmark):
+    frontier = benchmark(
+        lambda: degradation_frontier(
+            _naive_config(links=2, attempts=40)
+        )
+    )
+    report(
+        "FRONTIER: naive majority on K4",
+        format_table(
+            FRONTIER_HEADERS, [r.as_tuple() for r in frontier.rows]
+        )
+        + "\n"
+        + frontier.describe(),
+    )
+    # Nothing breaks at zero budget; agreement falls within the sweep.
+    assert frontier.rows[0].broken_conditions == ()
+    assert frontier.first_break["agreement"] is not None

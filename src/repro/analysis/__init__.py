@@ -15,13 +15,32 @@ from .sweep import (
     node_bound_sweep,
 )
 from .adversary_search import SearchResult, search_agreement_attacks
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    Counterexample,
+    DegradationFrontier,
+    FRONTIER_HEADERS,
+    FrontierRow,
+    NodeFault,
+    degradation_frontier,
+    replay_counterexample,
+    run_campaign,
+    sample_fault_plan,
+    shrink_counterexample,
+)
 from .convergence import (
     ConvergenceCurve,
     measure_convergence,
     theoretical_dlpsw_factor,
 )
 from .report import ReportLine, full_report, render_report
-from .witness_io import save_witness, witness_to_dict
+from .witness_io import (
+    campaign_to_dict,
+    save_campaign,
+    save_witness,
+    witness_to_dict,
+)
 from .metrics import COMPARE_HEADERS, RunMetrics, compare, measure
 from .tables import format_table
 from .traces import (
@@ -32,8 +51,22 @@ from .traces import (
 )
 
 __all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "Counterexample",
+    "DegradationFrontier",
+    "FRONTIER_HEADERS",
+    "FrontierRow",
+    "NodeFault",
     "SWEEP_HEADERS",
     "SweepRow",
+    "campaign_to_dict",
+    "degradation_frontier",
+    "replay_counterexample",
+    "run_campaign",
+    "sample_fault_plan",
+    "save_campaign",
+    "shrink_counterexample",
     "connectivity_sweep",
     "diamond_figure",
     "eight_ring_figure",

@@ -67,10 +67,11 @@ class SearchResult:
         )
 
 
-_STRATEGIES = ("silent", "liar", "crash", "replay", "two-faced")
+STRATEGIES = ("silent", "liar", "crash", "replay", "two-faced")
+_STRATEGIES = STRATEGIES  # backwards-compatible alias
 
 
-def _build_adversary(
+def build_adversary(
     kind: str,
     node: NodeId,
     honest: SyncDevice,
@@ -79,6 +80,9 @@ def _build_adversary(
     rng: random.Random,
     value_pool: Sequence[Any],
 ) -> SyncDevice:
+    """Build one faulty device of the named strategy ``kind``, drawing
+    any randomness from ``rng`` (deterministic given the rng state).
+    Shared with the campaign engine (:mod:`repro.analysis.campaign`)."""
     if kind == "silent":
         return SilentDevice()
     if kind == "liar":
@@ -124,9 +128,9 @@ def search_agreement_attacks(
         strategies = {}
         devices = dict(honest)
         for node in faulty_nodes:
-            kind = rng.choice(_STRATEGIES)
+            kind = rng.choice(STRATEGIES)
             strategies[node] = kind
-            devices[node] = _build_adversary(
+            devices[node] = build_adversary(
                 kind, node, honest[node], graph, rounds, rng, value_pool
             )
         inputs = {u: rng.choice(value_pool) for u in nodes}

@@ -1,0 +1,565 @@
+"""Deterministic adversary campaigns with counterexample shrinking.
+
+A *campaign* stresses a protocol under a **combined** fault budget: up
+to ``f`` faulty nodes (the existing Byzantine strategy devices) plus up
+to ``k`` faulty links (a sampled :class:`~repro.runtime.faults.
+FaultPlan`).  Each attempt is deterministic given ``(seed, attempt)``;
+on a specification violation the failing configuration is shrunk
+delta-debugging-style — greedily deleting fault atoms and faulty nodes
+while the violation persists — down to a minimal counterexample that
+replays exactly (same seed ⇒ identical injection trace).
+
+The second half is *graceful-degradation* reporting: sweep the link
+budget upward and record, per spec clause (agreement / validity /
+termination), the first budget at which it breaks.  Together these grow
+the repo from "the theorems' constructions" toward "as many failure
+scenarios as you can imagine", with every run replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..graphs.graph import CommunicationGraph, DirectedEdge, NodeId
+from ..problems.byzantine import ByzantineAgreementSpec
+from ..problems.spec import SpecVerdict, Violation
+from ..runtime.faults import (
+    FaultPlan,
+    InjectionTrace,
+    LinkFault,
+    Partition,
+    SyncFaultInjector,
+    partition_between,
+)
+from ..runtime.sync.behavior import SyncBehavior
+from ..runtime.sync.device import SyncDevice
+from ..runtime.sync.executor import run
+from ..runtime.sync.system import make_system
+from .adversary_search import STRATEGIES, build_adversary
+
+DeviceFactory = Callable[[CommunicationGraph], Mapping[NodeId, SyncDevice]]
+
+#: Link-fault kinds sampled by default.  All four primitives plus
+#: partitions; corruption draws replacements from the value pool, which
+#: well-formed protocols (e.g. EIG) must already tolerate from
+#: Byzantine senders.
+DEFAULT_LINK_KINDS = ("drop", "corrupt", "delay", "omit", "partition")
+
+SPEC_CONDITIONS = ("agreement", "validity", "termination")
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """One faulty node in a campaign attempt.  ``key`` seeds the
+    strategy's private randomness, so the device can be rebuilt
+    bit-identically during shrinking and replay."""
+
+    node: NodeId
+    kind: str
+    key: str
+
+    def describe(self) -> str:
+        return f"{self.node}={self.kind}"
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything a campaign needs to run — and to be re-run."""
+
+    graph: CommunicationGraph
+    device_factory: DeviceFactory
+    rounds: int
+    max_node_faults: int = 0
+    max_link_faults: int = 1
+    attempts: int = 100
+    seed: int = 0
+    value_pool: tuple[Any, ...] = (0, 1)
+    link_kinds: tuple[str, ...] = DEFAULT_LINK_KINDS
+    spec: ByzantineAgreementSpec = field(default_factory=ByzantineAgreementSpec)
+
+    def __post_init__(self) -> None:
+        for name in ("max_node_faults", "max_link_faults", "attempts"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """One failing configuration: inputs, faulty nodes, fault plan."""
+
+    inputs: Mapping[NodeId, Any]
+    node_faults: tuple[NodeFault, ...]
+    plan: FaultPlan
+    verdict: SpecVerdict
+    attempt: int
+
+    @property
+    def cost(self) -> tuple[int, int]:
+        """(faulty nodes, fault-plan atoms) — the shrinker minimizes
+        this lexicographically by deletion."""
+        return (len(self.node_faults), self.plan.size)
+
+    def describe(self) -> str:
+        nodes = (
+            ", ".join(nf.describe() for nf in self.node_faults) or "none"
+        )
+        return (
+            f"attempt {self.attempt}: faulty nodes [{nodes}]; "
+            f"links: {self.plan.describe()}; "
+            f"inputs {dict(self.inputs)}; {self.verdict.describe()}"
+        )
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of a campaign: the first violation found (if any), its
+    shrunk form, and the shrunk replay's injection trace."""
+
+    config: CampaignConfig
+    attempts: int
+    found: Counterexample | None
+    shrunk: Counterexample | None
+    shrink_steps: int = 0
+    injection_trace: InjectionTrace | None = None
+
+    @property
+    def broken(self) -> bool:
+        return self.found is not None
+
+    def describe(self) -> str:
+        if not self.broken:
+            return (
+                f"protocol survived {self.attempts} campaign attempts "
+                f"(budget: {self.config.max_node_faults} nodes + "
+                f"{self.config.max_link_faults} links)"
+            )
+        assert self.found is not None and self.shrunk is not None
+        return (
+            f"broken: {self.found.describe()}\n"
+            f"shrunk ({self.shrink_steps} deletions): "
+            f"{self.shrunk.describe()}"
+        )
+
+
+# -- deterministic sampling ------------------------------------------------
+
+
+def _sample_link_fault(
+    edge: DirectedEdge,
+    kind: str,
+    rounds: int,
+    rng: random.Random,
+) -> LinkFault:
+    start = rng.randrange(rounds)
+    end = rng.randrange(start + 1, rounds + 1)
+    if kind == "delay":
+        return LinkFault(
+            edge, "delay", start, end, delay=rng.randrange(1, rounds + 1)
+        )
+    if kind == "omit":
+        period = rng.randrange(2, max(3, rounds + 1))
+        burst = rng.randrange(1, period)
+        return LinkFault(edge, "omit", start, end, burst=burst, period=period)
+    return LinkFault(edge, kind, start, end)
+
+
+def sample_fault_plan(
+    graph: CommunicationGraph,
+    rounds: int,
+    max_link_faults: int,
+    rng: random.Random,
+    kinds: Sequence[str] = DEFAULT_LINK_KINDS,
+    seed: int = 0,
+    value_pool: tuple[Any, ...] = (0, 1),
+) -> FaultPlan:
+    """Sample a fault plan touching at most ``max_link_faults`` links.
+
+    A sampled partition spends its whole edge-cut against the link
+    budget, so plans containing one are only drawn when the budget
+    affords the cut.
+    """
+    edges = sorted(graph.edges, key=repr)
+    budget = rng.randrange(max_link_faults + 1) if edges else 0
+    link_faults: list[LinkFault] = []
+    partitions: list[Partition] = []
+    used: set[DirectedEdge] = set()
+    for _ in range(8 * budget + 8):  # bounded draws: partitions may not fit
+        if len(used) >= budget:
+            break
+        kind = rng.choice(tuple(kinds))
+        if kind == "partition":
+            side = rng.sample(
+                sorted(graph.nodes, key=repr),
+                rng.randrange(1, len(graph.nodes)),
+            )
+            start = rng.randrange(rounds)
+            end = rng.randrange(start + 1, rounds + 1)
+            cut = partition_between(graph, side, start, end)
+            if not cut.edges or len(used | cut.edges) > budget:
+                continue
+            partitions.append(cut)
+            used |= cut.edges
+        else:
+            candidates = [e for e in edges if e not in used]
+            if not candidates:
+                break
+            edge = rng.choice(candidates)
+            link_faults.append(_sample_link_fault(edge, kind, rounds, rng))
+            used.add(edge)
+    return FaultPlan(
+        link_faults=tuple(link_faults),
+        partitions=tuple(partitions),
+        seed=seed,
+        corrupt_pool=value_pool,
+    )
+
+
+def _sample_node_faults(
+    config: CampaignConfig, attempt: int, rng: random.Random
+) -> tuple[NodeFault, ...]:
+    count = rng.randrange(config.max_node_faults + 1)
+    nodes = rng.sample(sorted(config.graph.nodes, key=repr), count)
+    return tuple(
+        NodeFault(
+            node=node,
+            kind=rng.choice(STRATEGIES),
+            key=f"{config.seed}:{attempt}:{node}",
+        )
+        for node in nodes
+    )
+
+
+# -- execution -------------------------------------------------------------
+
+
+def execute_attempt(
+    config: CampaignConfig,
+    inputs: Mapping[NodeId, Any],
+    node_faults: Sequence[NodeFault],
+    plan: FaultPlan,
+) -> tuple[SyncBehavior, SpecVerdict, InjectionTrace]:
+    """Run one fully specified configuration and check the spec.
+
+    This is the single entry point used by search, shrinking, replay
+    and the frontier sweep, so all four see byte-identical executions.
+    A device that crashes on injected garbage is itself a robustness
+    finding and is reported as an ``execution`` violation rather than
+    as a campaign error.
+    """
+    graph = config.graph
+    devices = dict(config.device_factory(graph))
+    for nf in node_faults:
+        devices[nf.node] = build_adversary(
+            nf.kind,
+            nf.node,
+            devices[nf.node],
+            graph,
+            config.rounds,
+            random.Random(nf.key),
+            config.value_pool,
+        )
+    injector = SyncFaultInjector(plan)
+    system = make_system(graph, devices, dict(inputs))
+    faulty_nodes = {nf.node for nf in node_faults}
+    correct = [u for u in graph.nodes if u not in faulty_nodes]
+    try:
+        behavior = run(system, config.rounds, injector)
+    except Exception as exc:  # devices choking on injected garbage
+        verdict = SpecVerdict(
+            (
+                Violation(
+                    "execution",
+                    f"run crashed under injected faults: {exc}",
+                    tuple(correct),
+                ),
+            )
+        )
+        empty = SyncBehavior(graph=graph, rounds=0)
+        return (empty, verdict, injector.trace)
+    verdict = config.spec.check(inputs, behavior.decisions(), correct)
+    return (behavior, verdict, injector.trace)
+
+
+def replay_counterexample(
+    config: CampaignConfig, counterexample: Counterexample
+) -> tuple[SyncBehavior, SpecVerdict, InjectionTrace]:
+    """Re-run a counterexample exactly; deterministic by construction."""
+    return execute_attempt(
+        config,
+        counterexample.inputs,
+        counterexample.node_faults,
+        counterexample.plan,
+    )
+
+
+# -- shrinking -------------------------------------------------------------
+
+
+def shrink_counterexample(
+    config: CampaignConfig, found: Counterexample
+) -> tuple[Counterexample, int]:
+    """Greedy delta debugging: repeatedly delete one fault atom or one
+    faulty node while the spec still breaks; stop at a local minimum.
+
+    Returns the minimal counterexample and the number of successful
+    deletions.  The result is *1-minimal*: removing any single
+    remaining fault makes the violation disappear.
+    """
+    current = found
+    steps = 0
+    progress = True
+    while progress:
+        progress = False
+        for i in range(current.plan.size):
+            candidate_plan = current.plan.without_atoms([i])
+            _, verdict, _ = execute_attempt(
+                config, current.inputs, current.node_faults, candidate_plan
+            )
+            if not verdict.ok:
+                current = Counterexample(
+                    inputs=current.inputs,
+                    node_faults=current.node_faults,
+                    plan=candidate_plan,
+                    verdict=verdict,
+                    attempt=current.attempt,
+                )
+                steps += 1
+                progress = True
+                break
+        if progress:
+            continue
+        for i in range(len(current.node_faults)):
+            candidate_nodes = (
+                current.node_faults[:i] + current.node_faults[i + 1 :]
+            )
+            _, verdict, _ = execute_attempt(
+                config, current.inputs, candidate_nodes, current.plan
+            )
+            if not verdict.ok:
+                current = Counterexample(
+                    inputs=current.inputs,
+                    node_faults=candidate_nodes,
+                    plan=current.plan,
+                    verdict=verdict,
+                    attempt=current.attempt,
+                )
+                steps += 1
+                progress = True
+                break
+    return (current, steps)
+
+
+# -- the campaign ----------------------------------------------------------
+
+
+def run_campaign(config: CampaignConfig) -> CampaignResult:
+    """Sample attempts under the combined budget until a spec violation
+    appears (then shrink it) or the attempt budget is exhausted."""
+    for attempt in range(1, config.attempts + 1):
+        rng = random.Random(f"{config.seed}:{attempt}")
+        node_faults = _sample_node_faults(config, attempt, rng)
+        plan = sample_fault_plan(
+            config.graph,
+            config.rounds,
+            config.max_link_faults,
+            rng,
+            kinds=config.link_kinds,
+            seed=config.seed,
+            value_pool=config.value_pool,
+        )
+        inputs = {
+            u: rng.choice(config.value_pool)
+            for u in sorted(config.graph.nodes, key=repr)
+        }
+        _, verdict, _ = execute_attempt(config, inputs, node_faults, plan)
+        if not verdict.ok:
+            found = Counterexample(
+                inputs=inputs,
+                node_faults=node_faults,
+                plan=plan,
+                verdict=verdict,
+                attempt=attempt,
+            )
+            shrunk, steps = shrink_counterexample(config, found)
+            _, _, trace = replay_counterexample(config, shrunk)
+            return CampaignResult(
+                config=config,
+                attempts=attempt,
+                found=found,
+                shrunk=shrunk,
+                shrink_steps=steps,
+                injection_trace=trace,
+            )
+    return CampaignResult(
+        config=config, attempts=config.attempts, found=None, shrunk=None
+    )
+
+
+# -- graceful degradation --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FrontierRow:
+    """One budget level of a degradation sweep."""
+
+    link_budget: int
+    attempts: int
+    broken_conditions: tuple[str, ...]
+    example: Counterexample | None
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.link_budget,
+            self.attempts,
+            ", ".join(self.broken_conditions) or "-",
+        )
+
+
+FRONTIER_HEADERS = ("links", "attempts", "first-broken conditions")
+
+
+@dataclass(frozen=True)
+class DegradationFrontier:
+    """Where each spec clause first breaks as the link budget grows."""
+
+    rows: tuple[FrontierRow, ...]
+    first_break: Mapping[str, int | None]
+
+    def describe(self) -> str:
+        lines = []
+        for condition in sorted(self.first_break):
+            budget = self.first_break[condition]
+            if budget is None:
+                lines.append(f"{condition}: never broken within the sweep")
+            else:
+                lines.append(f"{condition}: first broken at {budget} links")
+        return "\n".join(lines)
+
+
+def degradation_frontier(
+    config: CampaignConfig,
+    max_link_faults: int | None = None,
+    attempts_per_level: int | None = None,
+) -> DegradationFrontier:
+    """Sweep the link budget 0..max and report, per spec clause, the
+    smallest budget at which a campaign finds a violation of it."""
+    max_links = (
+        config.max_link_faults if max_link_faults is None else max_link_faults
+    )
+    attempts = (
+        config.attempts if attempts_per_level is None else attempts_per_level
+    )
+    first_break: dict[str, int | None] = dict.fromkeys(SPEC_CONDITIONS)
+    rows: list[FrontierRow] = []
+    for budget in range(max_links + 1):
+        level = CampaignConfig(
+            graph=config.graph,
+            device_factory=config.device_factory,
+            rounds=config.rounds,
+            max_node_faults=config.max_node_faults,
+            max_link_faults=budget,
+            attempts=attempts,
+            seed=config.seed,
+            value_pool=config.value_pool,
+            link_kinds=config.link_kinds,
+            spec=config.spec,
+        )
+        result = run_campaign(level)
+        broken: tuple[str, ...] = ()
+        if result.broken:
+            assert result.shrunk is not None
+            broken = tuple(
+                dict.fromkeys(
+                    v.condition for v in result.shrunk.verdict.violations
+                )
+            )
+            for condition in broken:
+                if first_break.get(condition) is None:
+                    first_break[condition] = budget
+        rows.append(
+            FrontierRow(
+                link_budget=budget,
+                attempts=attempts,
+                broken_conditions=broken,
+                example=result.shrunk,
+            )
+        )
+    return DegradationFrontier(
+        rows=tuple(rows), first_break=first_break
+    )
+
+
+# -- persistence (one-command reproduction) --------------------------------
+
+
+def counterexample_to_dict(ce: Counterexample) -> dict[str, Any]:
+    return {
+        "attempt": ce.attempt,
+        "inputs": [[str(u), v] for u, v in sorted(
+            ce.inputs.items(), key=lambda kv: str(kv[0])
+        )],
+        "node_faults": [
+            {"node": str(nf.node), "kind": nf.kind, "key": nf.key}
+            for nf in ce.node_faults
+        ],
+        "plan": ce.plan.to_dict(),
+        "verdict": ce.verdict.describe(),
+    }
+
+
+def counterexample_from_dict(
+    data: dict[str, Any], graph: CommunicationGraph
+) -> Counterexample:
+    by_name = {str(u): u for u in graph.nodes}
+    inputs = {by_name[name]: value for name, value in data["inputs"]}
+    node_faults = tuple(
+        NodeFault(
+            node=by_name[nf["node"]], kind=nf["kind"], key=nf["key"]
+        )
+        for nf in data["node_faults"]
+    )
+    plan = FaultPlan.from_dict(data["plan"], graph)
+    return Counterexample(
+        inputs=inputs,
+        node_faults=node_faults,
+        plan=plan,
+        verdict=SpecVerdict(),
+        attempt=data.get("attempt", 0),
+    )
+
+
+def _frontier_to_jsonable(frontier: DegradationFrontier) -> dict[str, Any]:
+    return {
+        "first_break": dict(frontier.first_break),
+        "rows": [
+            {
+                "links": row.link_budget,
+                "attempts": row.attempts,
+                "broken": list(row.broken_conditions),
+            }
+            for row in frontier.rows
+        ],
+    }
+
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "Counterexample",
+    "DEFAULT_LINK_KINDS",
+    "DegradationFrontier",
+    "FRONTIER_HEADERS",
+    "FrontierRow",
+    "NodeFault",
+    "counterexample_from_dict",
+    "counterexample_to_dict",
+    "degradation_frontier",
+    "execute_attempt",
+    "replay_counterexample",
+    "run_campaign",
+    "sample_fault_plan",
+    "shrink_counterexample",
+]

@@ -105,3 +105,55 @@ def save_witness(
         )
     )
     return path
+
+
+def campaign_to_dict(result: Any) -> dict[str, Any]:
+    """A JSON-safe summary of a campaign result (see
+    :mod:`repro.analysis.campaign`) — enough to re-run the shrunk
+    counterexample with ``repro campaign --replay``."""
+    from .campaign import CampaignResult, counterexample_to_dict
+
+    assert isinstance(result, CampaignResult)
+    config = result.config
+    data: dict[str, Any] = {
+        "kind": "campaign",
+        "graph": {
+            "nodes": sorted(map(str, config.graph.nodes)),
+            "edges": sorted(
+                f"{min(str(u), str(v))}-{max(str(u), str(v))}"
+                for (u, v) in config.graph.edges
+            ),
+        },
+        "rounds": config.rounds,
+        "budget": {
+            "node_faults": config.max_node_faults,
+            "link_faults": config.max_link_faults,
+        },
+        "seed": config.seed,
+        "attempts": result.attempts,
+        "broken": result.broken,
+        "found": None,
+        "shrunk": None,
+        "shrink_steps": result.shrink_steps,
+        "injection_trace": None,
+    }
+    if result.found is not None:
+        data["found"] = counterexample_to_dict(result.found)
+        data["violations"] = [
+            {"condition": v.condition, "detail": v.detail}
+            for v in result.found.verdict.violations
+        ]
+    if result.shrunk is not None:
+        data["shrunk"] = counterexample_to_dict(result.shrunk)
+    if result.injection_trace is not None:
+        data["injection_trace"] = result.injection_trace.to_jsonable()
+    return _jsonable(data)
+
+
+def save_campaign(result: Any, path: str | Path) -> Path:
+    """Write a campaign summary as JSON; return the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(campaign_to_dict(result), indent=2, sort_keys=True)
+    )
+    return path

@@ -15,9 +15,17 @@ Examples
     python -m repro sweep connectivity --faults 1
     python -m repro demo eig --graph complete:7 --faults 2
     python -m repro demo sparse --graph circulant:7:1,2 --faults 1
+    python -m repro attack --protocol naive --graph complete:4 --faults 1
+    python -m repro campaign --protocol naive --graph complete:4 --links 2
+    python -m repro campaign --protocol eig --graph complete:4 --faults 1
+    python -m repro --seed 7 campaign --protocol naive --frontier
 
 Graph specs: ``triangle``, ``diamond``, ``complete:N``, ``ring:N``,
 ``wheel:N``, ``star:N``, ``circulant:N:o1,o2,...``.
+
+The global ``--seed`` (before the subcommand) drives every randomized
+search — adversary attacks and fault campaigns alike — so any run is
+reproducible from the command line.
 """
 
 from __future__ import annotations
@@ -188,7 +196,7 @@ def _cmd_demo(args) -> int:
         devices = dict(devices)
     nodes = list(graph.nodes)
     for i, node in enumerate(nodes[-f:]):
-        devices[node] = RandomLiarDevice(seed=i)
+        devices[node] = RandomLiarDevice(seed=args.seed + i)
     inputs = {u: i % 2 for i, u in enumerate(nodes)}
     behavior = run(make_system(graph, devices, inputs), rounds)
     correct = nodes[: len(nodes) - f]
@@ -202,6 +210,103 @@ def _cmd_demo(args) -> int:
     return 0 if verdict.ok else 1
 
 
+def _campaign_factory(protocol: str, faults: int):
+    """(device_factory, default_rounds) for a campaign/attack protocol."""
+    if protocol == "naive":
+        return (
+            lambda graph: {u: MajorityVoteDevice() for u in graph.nodes},
+            2,
+        )
+    if protocol == "eig":
+        return (lambda graph: eig_devices(graph, faults), faults + 1)
+    raise GraphError(f"unknown protocol {protocol!r}")
+
+
+def _cmd_attack(args) -> int:
+    from .analysis.adversary_search import search_agreement_attacks
+
+    graph = parse_graph(args.graph)
+    factory, default_rounds = _campaign_factory(args.protocol, args.faults)
+    rounds = args.rounds if args.rounds is not None else default_rounds
+    result = search_agreement_attacks(
+        graph,
+        factory,
+        max_faults=args.faults,
+        rounds=rounds,
+        attempts=args.attempts,
+        seed=args.seed,
+    )
+    print(result.describe())
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .analysis.campaign import (
+        CampaignConfig,
+        counterexample_from_dict,
+        degradation_frontier,
+        replay_counterexample,
+        run_campaign,
+    )
+    from .analysis.tables import format_table
+
+    graph = parse_graph(args.graph)
+    factory, default_rounds = _campaign_factory(args.protocol, args.faults)
+    rounds = args.rounds if args.rounds is not None else default_rounds
+    kinds = tuple(args.kinds.split(",")) if args.kinds else None
+    config = CampaignConfig(
+        graph=graph,
+        device_factory=factory,
+        rounds=rounds,
+        max_node_faults=args.faults,
+        max_link_faults=args.links,
+        attempts=args.attempts,
+        seed=args.seed,
+        **({"link_kinds": kinds} if kinds else {}),
+    )
+
+    if args.replay:
+        import json as _json
+
+        data = _json.loads(open(args.replay).read())
+        entry = data.get("shrunk") or data.get("found")
+        if not entry:
+            print("error: replay file holds no counterexample", file=sys.stderr)
+            return 2
+        ce = counterexample_from_dict(entry, graph)
+        _, verdict, trace = replay_counterexample(config, ce)
+        print(f"replayed: {verdict.describe()}")
+        print(trace.describe())
+        return 0
+
+    if args.frontier:
+        from .analysis.campaign import FRONTIER_HEADERS
+
+        frontier = degradation_frontier(config)
+        print(
+            format_table(
+                FRONTIER_HEADERS,
+                [row.as_tuple() for row in frontier.rows],
+                f"graceful degradation, {args.protocol} on {args.graph} "
+                f"(f={args.faults})",
+            )
+        )
+        print(frontier.describe())
+        return 0
+
+    result = run_campaign(config)
+    print(result.describe())
+    if result.broken and args.verbose and result.injection_trace:
+        print("injection trace of the shrunk counterexample:")
+        print(result.injection_trace.describe())
+    if args.json:
+        from .analysis.witness_io import save_campaign
+
+        path = save_campaign(result, args.json)
+        print(f"campaign written to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -209,6 +314,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Executable reproduction of FLM 1985, 'Easy Impossibility "
             "Proofs for Distributed Consensus Problems'"
         ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for every randomized search (attack, campaign, demo)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -258,6 +367,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", type=int, default=1)
     p.set_defaults(func=_cmd_demo)
 
+    p = sub.add_parser(
+        "attack", help="randomized Byzantine-node adversary search"
+    )
+    p.add_argument("--protocol", choices=["naive", "eig"], default="naive")
+    p.add_argument("--graph", default="complete:4")
+    p.add_argument("--faults", type=int, default=1)
+    p.add_argument("--rounds", type=int, default=None)
+    p.add_argument("--attempts", type=int, default=200)
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser(
+        "campaign",
+        help="fault-injection campaign: nodes + links, with shrinking",
+    )
+    p.add_argument("--protocol", choices=["naive", "eig"], default="naive")
+    p.add_argument("--graph", default="complete:4")
+    p.add_argument(
+        "--faults", type=int, default=0, help="max faulty nodes (f)"
+    )
+    p.add_argument(
+        "--links", type=int, default=2, help="max faulty links (k)"
+    )
+    p.add_argument("--rounds", type=int, default=None)
+    p.add_argument("--attempts", type=int, default=100)
+    p.add_argument(
+        "--kinds",
+        help="comma-separated link-fault kinds "
+        "(drop,corrupt,delay,omit,partition)",
+    )
+    p.add_argument(
+        "--frontier", action="store_true",
+        help="sweep the link budget and report the degradation frontier",
+    )
+    p.add_argument(
+        "--replay", help="re-run the counterexample stored in this JSON file"
+    )
+    p.add_argument("--json", help="write the campaign result to this file")
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="print the shrunk counterexample's injection trace",
+    )
+    p.set_defaults(func=_cmd_campaign)
+
     return parser
 
 
@@ -266,7 +418,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except GraphError as exc:
+    except (GraphError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import math
 from collections.abc import Mapping
-from typing import Any
 
 from ..graphs.adequacy import required_nodes
 from ..graphs.builders import triangle

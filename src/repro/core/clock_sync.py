@@ -31,7 +31,7 @@ checking the Scaling axiom rather than assuming it.
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from ..graphs.builders import triangle

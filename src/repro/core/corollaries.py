@@ -22,7 +22,7 @@ graph.
 from __future__ import annotations
 
 import math
-from collections.abc import Callable, Mapping
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 from ..graphs.graph import NodeId

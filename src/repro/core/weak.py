@@ -23,7 +23,6 @@ from __future__ import annotations
 import math
 from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Any
 
 from ..graphs.builders import triangle
 from ..graphs.coverings import ring_cover_of_triangle

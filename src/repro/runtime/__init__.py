@@ -8,4 +8,34 @@
     Continuous time with a minimum message delay and hardware clocks;
     additionally satisfies the Bounded-Delay Locality and Scaling
     axioms.  Hosts Theorems 2, 4, 8.
+
+:mod:`repro.runtime.faults`
+    Link-level fault injection shared by both runtimes: declarative
+    :class:`~repro.runtime.faults.FaultPlan` schedules (drop, corrupt,
+    delay, omission bursts, partitions), deterministic injectors, and
+    replayable injection traces.
 """
+
+from .faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    InjectionRecord,
+    InjectionTrace,
+    LinkFault,
+    Partition,
+    SyncFaultInjector,
+    TimedFaultInjector,
+    partition_between,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "InjectionRecord",
+    "InjectionTrace",
+    "LinkFault",
+    "Partition",
+    "SyncFaultInjector",
+    "TimedFaultInjector",
+    "partition_between",
+]

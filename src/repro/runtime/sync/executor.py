@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ...graphs.graph import DirectedEdge, NodeId
+from ..faults import SyncFaultInjector
 from .behavior import EdgeBehavior, NodeBehavior, SyncBehavior
 from .device import NodeContext, SyncDevice
 from .system import SyncSystem
@@ -50,8 +51,20 @@ class _NodeRun:
             )
 
 
-def run(system: SyncSystem, rounds: int) -> SyncBehavior:
-    """Execute ``system`` for ``rounds`` rounds; return its behavior."""
+def run(
+    system: SyncSystem,
+    rounds: int,
+    injector: SyncFaultInjector | None = None,
+) -> SyncBehavior:
+    """Execute ``system`` for ``rounds`` rounds; return its behavior.
+
+    With an ``injector`` (see :mod:`repro.runtime.faults`) every
+    per-edge message slot is passed through the injector between the
+    send and receive phases; edge behaviors then record what the
+    channel *delivered*, and the injector's trace records what it did.
+    Without one, the code path is the classic reliable-channel
+    executor, byte-for-byte.
+    """
     if rounds < 0:
         raise ExecutionError("rounds must be non-negative")
     graph = system.graph
@@ -84,6 +97,10 @@ def run(system: SyncSystem, rounds: int) -> SyncBehavior:
             for neighbor in graph.neighbors(u):
                 label = system.port(u, neighbor)
                 message = out.get(label)
+                if injector is not None:
+                    message = injector.deliver(
+                        (u, neighbor), round_index, message
+                    )
                 outboxes[(u, neighbor)] = message
                 edge_messages[(u, neighbor)].append(message)
 

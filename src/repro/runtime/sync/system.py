@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Any
 
 from ...graphs.coverings import CoveringMap
@@ -33,6 +34,15 @@ class NodeAssignment:
         return NodeContext(
             ports=tuple(self.port_of_neighbor.values()), input=self.input
         )
+
+    @cached_property
+    def neighbor_of_port(self) -> Mapping[PortLabel, NodeId]:
+        """The reverse of ``port_of_neighbor``, built once per
+        assignment (port labels are distinct, enforced by the system)."""
+        return {
+            port: neighbor
+            for neighbor, port in self.port_of_neighbor.items()
+        }
 
 
 @dataclass(frozen=True)
@@ -72,11 +82,14 @@ class SyncSystem:
         return self.assignments[u].port_of_neighbor[neighbor]
 
     def neighbor_of_port(self, u: NodeId, label: PortLabel) -> NodeId:
-        """The neighbor behind one of ``u``'s port labels."""
-        for neighbor, port in self.assignments[u].port_of_neighbor.items():
-            if port == label:
-                return neighbor
-        raise GraphError(f"node {u!r} has no port labeled {label!r}")
+        """The neighbor behind one of ``u``'s port labels (O(1): the
+        reverse map is cached per assignment)."""
+        try:
+            return self.assignments[u].neighbor_of_port[label]
+        except KeyError:
+            raise GraphError(
+                f"node {u!r} has no port labeled {label!r}"
+            ) from None
 
     def with_devices(
         self, replacements: Mapping[NodeId, SyncDevice]

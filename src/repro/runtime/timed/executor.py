@@ -23,11 +23,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from collections.abc import Hashable
 from dataclasses import dataclass, field
 from typing import Any
 
 from ...graphs.graph import DirectedEdge, NodeId
+from ..faults import TimedFaultInjector
 from .adversary import TimedReplayDevice
 from .behavior import (
     TimedBehavior,
@@ -94,9 +96,15 @@ class _Api(DeviceApi):
 
 
 class _Run:
-    def __init__(self, system: TimedSystem, horizon: float) -> None:
+    def __init__(
+        self,
+        system: TimedSystem,
+        horizon: float,
+        injector: TimedFaultInjector | None = None,
+    ) -> None:
         self.system = system
         self.horizon = horizon
+        self.injector = injector
         graph = system.graph
         self._node_rank = {u: i for i, u in enumerate(graph.nodes)}
         self._queue: list[tuple] = []
@@ -133,12 +141,7 @@ class _Run:
             arrival = clock.inverse()(clock(now) + self.system.delay)
         else:
             arrival = now + self.system.delay
-        self.records[node].events.append(
-            TimedEvent(now, "send", (port, message))
-        )
-        self.edge_sends[(node, neighbor)].append((now, message, arrival))
-        receiver_port = self.system.port(neighbor, node)
-        self.schedule(arrival, neighbor, "deliver", (receiver_port, message))
+        self._transmit(node, neighbor, port, message, now, arrival)
 
     def send_scripted(
         self,
@@ -152,9 +155,29 @@ class _Run:
         recorded edge behavior and is reproduced verbatim rather than
         recomputed from the (faulty) sender's clock."""
         neighbor = self.system.neighbor_of_port(node, port)
+        self._transmit(node, neighbor, port, message, now, arrival)
+
+    def _transmit(
+        self,
+        node: NodeId,
+        neighbor: NodeId,
+        port: PortLabel,
+        message: Message,
+        now: float,
+        arrival: float,
+    ) -> None:
+        """Common channel half of a send: the sender's event records the
+        message it emitted; the fault injector (if any) then decides
+        what, if anything, the edge actually carries."""
         self.records[node].events.append(
             TimedEvent(now, "send", (port, message))
         )
+        if self.injector is not None:
+            delivered, message, arrival = self.injector.on_send(
+                (node, neighbor), now, message, arrival
+            )
+            if not delivered:
+                return
         self.edge_sends[(node, neighbor)].append((now, message, arrival))
         receiver_port = self.system.port(neighbor, node)
         self.schedule(arrival, neighbor, "deliver", (receiver_port, message))
@@ -258,8 +281,19 @@ class _Run:
         )
 
 
-def run_timed(system: TimedSystem, horizon: float) -> TimedBehavior:
-    """Execute ``system`` through real time ``horizon``."""
-    if horizon < 0:
+def run_timed(
+    system: TimedSystem,
+    horizon: float,
+    injector: TimedFaultInjector | None = None,
+) -> TimedBehavior:
+    """Execute ``system`` through real time ``horizon``.
+
+    ``horizon`` is validated exactly like ``rounds`` in the synchronous
+    executor's ``run`` — negative (or NaN) horizons raise
+    :class:`TimedExecutionError` before any device code runs.  An
+    optional ``injector`` (see :mod:`repro.runtime.faults`) interposes
+    on every send; without one the executor is unchanged.
+    """
+    if math.isnan(horizon) or horizon < 0:
         raise TimedExecutionError("horizon must be non-negative")
-    return _Run(system, horizon).execute()
+    return _Run(system, horizon, injector).execute()

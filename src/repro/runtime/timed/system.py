@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Literal
 
 from ...graphs.coverings import CoveringMap
@@ -38,6 +39,15 @@ class TimedNodeAssignment:
             ports=tuple(self.port_of_neighbor.values()), input=self.input
         )
 
+    @cached_property
+    def neighbor_of_port(self) -> Mapping[PortLabel, NodeId]:
+        """The reverse of ``port_of_neighbor``, built once per
+        assignment."""
+        return {
+            port: neighbor
+            for neighbor, port in self.port_of_neighbor.items()
+        }
+
 
 @dataclass(frozen=True)
 class TimedSystem:
@@ -57,6 +67,9 @@ class TimedSystem:
             labeled = set(self.assignments[u].port_of_neighbor)
             if labeled != set(self.graph.neighbors(u)):
                 raise GraphError(f"port labeling of {u!r} mismatches graph")
+            labels = list(self.assignments[u].port_of_neighbor.values())
+            if len(set(labels)) != len(labels):
+                raise GraphError(f"port labels of {u!r} are not distinct")
 
     def context(self, u: NodeId) -> TimedContext:
         return self.assignments[u].context()
@@ -68,10 +81,12 @@ class TimedSystem:
         return self.assignments[u].port_of_neighbor[neighbor]
 
     def neighbor_of_port(self, u: NodeId, label: PortLabel) -> NodeId:
-        for neighbor, port in self.assignments[u].port_of_neighbor.items():
-            if port == label:
-                return neighbor
-        raise GraphError(f"node {u!r} has no port labeled {label!r}")
+        try:
+            return self.assignments[u].neighbor_of_port[label]
+        except KeyError:
+            raise GraphError(
+                f"node {u!r} has no port labeled {label!r}"
+            ) from None
 
     def with_factories(
         self, replacements: Mapping[NodeId, DeviceFactory]

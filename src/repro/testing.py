@@ -14,7 +14,7 @@ covering nodes at once).
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable
 from typing import Any
 
 from .runtime.sync.device import FunctionDevice, SyncDevice

@@ -8,7 +8,7 @@ from repro.analysis.convergence import (
     theoretical_dlpsw_factor,
 )
 from repro.graphs import complete_graph
-from repro.protocols import dlpsw_devices, inexact_devices
+from repro.protocols import dlpsw_devices
 from repro.runtime.sync import RandomLiarDevice
 
 

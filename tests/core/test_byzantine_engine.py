@@ -7,7 +7,6 @@ import pytest
 
 from repro.core import (
     CoveringArgumentError,
-    NoViolationFound,
     refute_connectivity,
     refute_node_bound,
 )

@@ -8,7 +8,6 @@ from repro.core import (
     refute_weak_agreement_connectivity,
 )
 from repro.graphs import (
-    CyclicCover,
     connectivity_cyclic_cover,
     cut_partition_for_connectivity,
     cyclic_cover,

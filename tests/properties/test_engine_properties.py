@@ -11,7 +11,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
-    NoViolationFound,
     refute_epsilon_delta,
     refute_node_bound,
     refute_simple_node_bound,

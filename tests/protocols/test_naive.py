@@ -10,7 +10,7 @@ from repro.protocols import (
     MidpointDevice,
     MinimumDevice,
 )
-from repro.runtime.sync import make_system, run, uniform_system
+from repro.runtime.sync import run, uniform_system
 
 
 def decisions(device, inputs, rounds=2, graph=None):

@@ -2,7 +2,6 @@
 paths, firing squad via agreement, and averaging clock sync beating the
 trivial skew on an adequate graph."""
 
-import pytest
 
 from repro.graphs import complete_graph, triangle
 from repro.problems import FiringSquadSpec, WeakAgreementSpec
@@ -10,7 +9,6 @@ from repro.protocols import (
     AveragingSyncDevice,
     ByzantineClockDevice,
     ExchangeOnceWeakDevice,
-    LowerEnvelopeClockDevice,
     RelayFireDevice,
     fire_round_of,
     firing_squad_devices,

@@ -4,7 +4,6 @@ supernodes preserves behaviors exactly."""
 import pytest
 
 from repro.graphs import GraphError, complete_graph
-from repro.problems import ByzantineAgreementSpec
 from repro.protocols import MajorityVoteDevice, eig_devices
 from repro.runtime.sync import make_system, run
 from repro.runtime.sync.collapse import (

@@ -1,0 +1,92 @@
+"""Edge-case coverage for the synchronous adversary devices: crashing
+at round zero, degenerate two-faced splits, and replay scripts shorter
+than the horizon."""
+
+from repro.graphs import triangle
+from repro.protocols import MajorityVoteDevice
+from repro.runtime.sync import (
+    CrashDevice,
+    ReplayDevice,
+    TwoFacedDevice,
+    run,
+    uniform_system,
+)
+
+
+def _with_faulty_a(device, inputs=None):
+    g = triangle()
+    system = uniform_system(
+        g, MajorityVoteDevice(), inputs or {u: 1 for u in g.nodes}
+    )
+    return system.with_devices({"a": device})
+
+
+class TestCrashDevice:
+    def test_crash_at_round_zero_is_born_silent(self):
+        system = _with_faulty_a(CrashDevice(MajorityVoteDevice(), 0))
+        behavior = run(system, 2)
+        assert behavior.edge("a", "b").messages == (None, None)
+        assert behavior.edge("a", "c").messages == (None, None)
+        # State never advances past init either.
+        states = behavior.node("a").states
+        assert all(s == states[0] for s in states)
+
+    def test_crash_mid_run_sends_prefix_only(self):
+        inner = MajorityVoteDevice(rounds=3)
+        g = triangle()
+        system = uniform_system(
+            g, MajorityVoteDevice(rounds=3), {u: 1 for u in g.nodes}
+        ).with_devices({"a": CrashDevice(inner, 1)})
+        behavior = run(system, 3)
+        assert behavior.edge("a", "b").messages == (1, None, None)
+
+
+class TestTwoFacedDevice:
+    def test_empty_split_runs_face_two_everywhere(self):
+        two_faced = TwoFacedDevice(
+            MajorityVoteDevice(), MajorityVoteDevice(), ports_for_one=[]
+        )
+        system = _with_faulty_a(two_faced)
+        honest = _with_faulty_a(MajorityVoteDevice())
+        assert (
+            dict(run(system, 2).edge_behaviors)
+            == dict(run(honest, 2).edge_behaviors)
+        )
+
+    def test_full_split_runs_face_one_everywhere(self):
+        two_faced = TwoFacedDevice(
+            MajorityVoteDevice(), MajorityVoteDevice(), ports_for_one=["b", "c"]
+        )
+        system = _with_faulty_a(two_faced)
+        honest = _with_faulty_a(MajorityVoteDevice())
+        assert (
+            dict(run(system, 2).edge_behaviors)
+            == dict(run(honest, 2).edge_behaviors)
+        )
+
+    def test_split_faces_see_disjoint_inboxes(self):
+        # Face one talks to b only, face two to c only; each face's
+        # majority is computed from its own port subset.
+        two_faced = TwoFacedDevice(
+            MajorityVoteDevice(), MajorityVoteDevice(), ports_for_one=["b"]
+        )
+        system = _with_faulty_a(two_faced, {"a": 1, "b": 0, "c": 1})
+        behavior = run(system, 2)
+        state_one, state_two = behavior.node("a").states[-1]
+        assert state_one != state_two
+
+
+class TestReplayDevice:
+    def test_script_shorter_than_horizon_sends_none_after_end(self):
+        replay = ReplayDevice({"b": [7], "c": [8, 9]})
+        system = _with_faulty_a(replay)
+        behavior = run(system, 4)
+        assert behavior.edge("a", "b").messages == (7, None, None, None)
+        assert behavior.edge("a", "c").messages == (8, 9, None, None)
+        assert replay.scripted_rounds() == 2
+
+    def test_unlisted_port_sends_nothing(self):
+        replay = ReplayDevice({"b": [1, 2]})
+        system = _with_faulty_a(replay)
+        behavior = run(system, 2)
+        assert behavior.edge("a", "c").messages == (None, None)

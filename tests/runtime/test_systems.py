@@ -7,7 +7,6 @@ from repro.protocols import MajorityVoteDevice
 from repro.runtime.sync import (
     NodeAssignment,
     SyncSystem,
-    make_system,
     run,
     uniform_system,
 )
@@ -75,6 +74,37 @@ class TestSyncSystemGuards:
         s2 = s1.with_inputs({u: 1 for u in g.nodes})
         assert run(s1, 2).decisions() == run(s2, 2).decisions()
 
+    def test_reverse_port_map_cached_per_assignment(self):
+        g = triangle()
+        system = uniform_system(
+            g, MajorityVoteDevice(), {u: 0 for u in g.nodes}
+        )
+        first = system.assignments["a"].neighbor_of_port
+        second = system.assignments["a"].neighbor_of_port
+        assert first is second  # built once, then cached
+        assert first == {"b": "b", "c": "c"}
+
+    def test_reverse_map_with_non_identity_labels(self):
+        # Covering-style labelings rename ports; the cached reverse map
+        # must follow the labeling, not the node ids.
+        g = triangle()
+        assignments = {
+            "a": NodeAssignment(
+                MajorityVoteDevice(), 0, {"b": "east", "c": "west"}
+            ),
+            "b": NodeAssignment(
+                MajorityVoteDevice(), 0, {"a": "a", "c": "c"}
+            ),
+            "c": NodeAssignment(
+                MajorityVoteDevice(), 0, {"a": "a", "b": "b"}
+            ),
+        }
+        system = SyncSystem(g, assignments)
+        assert system.neighbor_of_port("a", "east") == "b"
+        assert system.neighbor_of_port("a", "west") == "c"
+        with pytest.raises(GraphError):
+            system.neighbor_of_port("a", "b")
+
 
 class _Noop(TimedDevice):
     pass
@@ -96,6 +126,27 @@ class TestTimedSystemGuards:
         }
         with pytest.raises(GraphError):
             TimedSystem(g, assignments)
+
+    def test_duplicate_labels_rejected(self):
+        g = triangle()
+        good = make_timed_system(
+            g, {u: _Noop for u in g.nodes}, {u: None for u in g.nodes}
+        )
+        bad = dict(good.assignments)
+        bad["a"] = TimedNodeAssignment(_Noop, None, {"b": "x", "c": "x"})
+        with pytest.raises(GraphError):
+            TimedSystem(g, bad)
+
+    def test_reverse_port_map_cached_per_assignment(self):
+        g = triangle()
+        system = make_timed_system(
+            g, {u: _Noop for u in g.nodes}, {u: None for u in g.nodes}
+        )
+        first = system.assignments["a"].neighbor_of_port
+        assert first is system.assignments["a"].neighbor_of_port
+        assert system.neighbor_of_port("a", "b") == "b"
+        with pytest.raises(GraphError):
+            system.neighbor_of_port("a", "nope")
 
     def test_with_factories_swaps_only_devices(self):
         g = triangle()

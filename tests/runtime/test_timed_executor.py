@@ -8,7 +8,6 @@ from repro.runtime.timed import (
     LinearClock,
     TimedExecutionError,
     TimedReplayDevice,
-    identity,
     make_timed_system,
     run_timed,
 )
@@ -40,6 +39,30 @@ class TimerDevice(TimedDevice):
 
     def on_timer(self, ctx, api, name):
         api.decide(api.clock())
+
+
+class TestHorizonValidation:
+    """The timed executor validates its horizon the same way the sync
+    executor validates ``rounds`` — before any device code runs."""
+
+    def _system(self):
+        g = triangle()
+        return make_timed_system(
+            g, {u: PingDevice for u in g.nodes}, {u: u for u in g.nodes}
+        )
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(TimedExecutionError, match="non-negative"):
+            run_timed(self._system(), horizon=-1.0)
+
+    def test_nan_horizon_rejected(self):
+        with pytest.raises(TimedExecutionError, match="non-negative"):
+            run_timed(self._system(), horizon=float("nan"))
+
+    def test_zero_horizon_runs_only_time_zero(self):
+        behavior = run_timed(self._system(), horizon=0.0)
+        for u in behavior.graph.nodes:
+            assert all(e.time == 0.0 for e in behavior.node(u).events)
 
 
 class TestBasics:
