@@ -1,0 +1,105 @@
+"""HOTPATH — compiled plans, memoization and parallel drivers.
+
+This bench times the PR-2 performance layers against their
+"before" shapes while asserting the invariant that makes them safe:
+identical output.
+
+* plan vs reference: :func:`repro.runtime.sync.executor.run` (compiled
+  hot path) against :func:`repro.testing.reference_sync_run` (the old
+  interpretive loop, kept verbatim as an oracle), same behavior.
+* memoized campaign: a shrink-heavy campaign with and without a
+  :class:`~repro.runtime.memo.BehaviorCache`, same result.
+* parallel campaign: ``jobs=2`` against serial, byte-identical JSON.
+
+The timing deltas land in ``BENCH_runtime.json`` via
+``scripts/bench_snapshot.py``; here the benchmark fixture records them
+for local comparison runs.
+"""
+
+import json
+
+from conftest import report
+
+from repro.analysis.campaign import CampaignConfig, run_campaign
+from repro.analysis.witness_io import campaign_to_dict
+from repro.graphs import complete_graph
+from repro.protocols import MajorityVoteDevice
+from repro.runtime.memo import BehaviorCache
+from repro.runtime.plan import compile_sync_plan
+from repro.runtime.sync.executor import run
+from repro.runtime.sync.system import make_system
+from repro.testing import reference_sync_run
+
+ROUNDS = 6
+
+
+def _system(n=6):
+    g = complete_graph(n)
+    devices = {u: MajorityVoteDevice() for u in g.nodes}
+    inputs = {u: i % 2 for i, u in enumerate(g.nodes)}
+    return make_system(g, devices, inputs)
+
+
+def _campaign_config(attempts=60):
+    return CampaignConfig(
+        graph=complete_graph(4),
+        device_factory=lambda g: {u: MajorityVoteDevice() for u in g.nodes},
+        rounds=3,
+        max_node_faults=0,
+        max_link_faults=3,
+        attempts=attempts,
+        seed=0,
+    )
+
+
+def test_compiled_executor_matches_reference(benchmark):
+    system = _system()
+    expected = reference_sync_run(system, ROUNDS)
+    compile_sync_plan(system)  # pay compilation up front, as run() does
+    behavior = benchmark(lambda: run(system, ROUNDS))
+    report(
+        "HOTPATH: compiled executor, K6 majority",
+        f"{ROUNDS} rounds over {len(system.graph.edges)} edges; "
+        "output equals the interpretive reference executor",
+    )
+    assert behavior == expected
+
+
+def test_reference_executor_baseline(benchmark):
+    """The 'before' leg: same workload through the interpretive loop."""
+    system = _system()
+    behavior = benchmark(lambda: reference_sync_run(system, ROUNDS))
+    assert behavior == run(system, ROUNDS)
+
+
+def test_memoized_campaign_matches_unmemoized(benchmark):
+    config = _campaign_config()
+    cold = run_campaign(config, memoize=False)
+
+    def warmed():
+        cache = BehaviorCache()
+        first = run_campaign(config, cache=cache)
+        again = run_campaign(config, cache=cache)
+        return first, again, cache
+
+    first, again, cache = benchmark(warmed)
+    report(
+        "HOTPATH: memoized campaign-shrink",
+        f"{cold.describe()}\n{cache.describe()}",
+    )
+    assert first == cold
+    assert again == cold
+    assert cache.hits > 0
+
+
+def test_parallel_campaign_identical_to_serial(benchmark):
+    config = _campaign_config()
+    serial = run_campaign(config, jobs=1)
+    parallel = benchmark(lambda: run_campaign(config, jobs=2))
+    s = json.dumps(campaign_to_dict(serial), sort_keys=True)
+    p = json.dumps(campaign_to_dict(parallel), sort_keys=True)
+    report(
+        "HOTPATH: parallel campaign (jobs=2)",
+        f"serial == parallel: {s == p}; {parallel.describe()}",
+    )
+    assert s == p

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Snapshot the PR-2 performance layers into ``BENCH_runtime.json``.
+
+Measures, on this machine, the three optimization layers against their
+"before" shapes — and, more importantly, re-verifies on every run that
+each layer is output-invisible:
+
+* ``executor``      — compiled-plan ``run()`` vs the interpretive
+                      reference executor (``repro.testing.
+                      reference_sync_run``), same workload.
+* ``campaign_shrink`` — a shrink-heavy fault campaign, memoized
+                      (shared :class:`BehaviorCache`, warm second run)
+                      vs unmemoized, identical results required.
+* ``parallel``      — ``run_campaign(jobs=N)`` vs serial, byte-identical
+                      sorted-JSON reports required.  Wall-clock scaling
+                      is recorded honestly along with the machine's
+                      core count: on a single-core box the pool cannot
+                      beat serial and the numbers will say so.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py [--out BENCH_runtime.json]
+    PYTHONPATH=src python scripts/bench_snapshot.py --smoke   # CI: tiny sizes
+
+``--smoke`` shrinks every workload so the script finishes in seconds;
+equivalence checks still run at full strictness (that is the point of
+the CI job), only the timings become meaningless-but-present.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+)
+
+from repro.analysis.campaign import CampaignConfig, run_campaign  # noqa: E402
+from repro.analysis.parallel import (  # noqa: E402
+    available_parallelism,
+    fork_available,
+)
+from repro.analysis.witness_io import campaign_to_dict  # noqa: E402
+from repro.graphs.builders import complete_graph  # noqa: E402
+from repro.protocols.naive import MajorityVoteDevice  # noqa: E402
+from repro.runtime.memo import BehaviorCache  # noqa: E402
+from repro.runtime.plan import compile_sync_plan  # noqa: E402
+from repro.runtime.sync.executor import run  # noqa: E402
+from repro.runtime.sync.system import make_system  # noqa: E402
+from repro.testing import reference_sync_run  # noqa: E402
+
+
+def _naive_factory(graph):
+    return {u: MajorityVoteDevice() for u in graph.nodes}
+
+
+def _time(fn, repeats):
+    """Best-of-``repeats`` wall time (seconds) and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_executor(smoke):
+    n, rounds, repeats = (4, 3, 3) if smoke else (8, 10, 20)
+    system = make_system(
+        complete_graph(n),
+        _naive_factory(complete_graph(n)),
+        {u: i % 2 for i, u in enumerate(complete_graph(n).nodes)},
+    )
+    t_ref, b_ref = _time(lambda: reference_sync_run(system, rounds), repeats)
+    compile_sync_plan(system)
+    t_plan, b_plan = _time(lambda: run(system, rounds), repeats)
+    return {
+        "workload": f"K{n} majority, {rounds} rounds",
+        "reference_s": t_ref,
+        "reference_ops": 1.0 / t_ref if t_ref else None,
+        "compiled_s": t_plan,
+        "compiled_ops": 1.0 / t_plan if t_plan else None,
+        "speedup": t_ref / t_plan if t_plan else None,
+        "identical_output": b_ref == b_plan,
+    }
+
+
+def _campaign_config(smoke):
+    n, rounds, links, attempts = (4, 3, 3, 12) if smoke else (6, 5, 4, 80)
+    return CampaignConfig(
+        graph=complete_graph(n),
+        device_factory=_naive_factory,
+        rounds=rounds,
+        max_node_faults=0,
+        max_link_faults=links,
+        attempts=attempts,
+        seed=0,
+    )
+
+
+def bench_campaign_shrink(smoke):
+    """The campaign + shrink + replay workload, memoized vs not.
+
+    The memoized leg runs the campaign **four times** against one
+    shared cache — the realistic shape (a frontier sweep or a
+    re-analysis of the same config re-executes heavily overlapping
+    attempts, and the shrinker re-runs overlapping fault subsets) —
+    and is compared against four unmemoized runs of the same config.
+    """
+    config = _campaign_config(smoke)
+    repeats = 1 if smoke else 3
+    passes = 4
+
+    def cold():
+        return [
+            run_campaign(config, memoize=False) for _ in range(passes)
+        ]
+
+    def warm():
+        cache = BehaviorCache(maxsize=4096)
+        return (
+            [run_campaign(config, cache=cache) for _ in range(passes)],
+            cache,
+        )
+
+    t_cold, cold_runs = _time(cold, repeats)
+    t_warm, (warm_runs, cache) = _time(warm, repeats)
+    return {
+        "workload": (
+            f"{passes}x campaign+shrink+replay on "
+            f"K{len(config.graph)}, {config.attempts} attempts, "
+            f"k<={config.max_link_faults} links"
+        ),
+        "unmemoized_s": t_cold,
+        "unmemoized_ops": passes / t_cold if t_cold else None,
+        "memoized_s": t_warm,
+        "memoized_ops": passes / t_warm if t_warm else None,
+        "speedup": t_cold / t_warm if t_warm else None,
+        "identical_output": cold_runs == warm_runs,
+        "cache": cache.stats(),
+    }
+
+
+def bench_sweep(smoke):
+    from repro.analysis.sweep import node_bound_sweep
+
+    faults = (1,) if smoke else (1, 2)
+    repeats = 1 if smoke else 3
+    t_serial, serial = _time(lambda: node_bound_sweep(faults), repeats)
+    t_par, parallel = _time(
+        lambda: node_bound_sweep(faults, jobs=2), repeats
+    )
+    return {
+        "workload": f"node-bound sweep, f in {list(faults)}",
+        "points": len(serial),
+        "serial_s": t_serial,
+        "serial_ops": len(serial) / t_serial if t_serial else None,
+        "jobs2_s": t_par,
+        "identical_output": serial == parallel,
+    }
+
+
+def bench_parallel(smoke):
+    config = _campaign_config(smoke)
+    repeats = 1 if smoke else 3
+    t_serial, serial = _time(lambda: run_campaign(config, jobs=1), repeats)
+    rows = {}
+    identical = True
+    reference = json.dumps(campaign_to_dict(serial), sort_keys=True)
+    for jobs in (2, 4):
+        t_par, par = _time(lambda: run_campaign(config, jobs=jobs), repeats)
+        same = json.dumps(campaign_to_dict(par), sort_keys=True) == reference
+        identical = identical and same
+        rows[f"jobs{jobs}"] = {
+            "wall_s": t_par,
+            "speedup_vs_serial": t_serial / t_par if t_par else None,
+            "identical_output": same,
+        }
+    return {
+        "workload": f"campaign, {config.attempts} attempts",
+        "serial_s": t_serial,
+        "fork_available": fork_available(),
+        "cores": available_parallelism(),
+        "levels": rows,
+        "identical_output": identical,
+        "note": (
+            "speedup is hardware-bound: with a single available core "
+            "the pool adds fork overhead and cannot beat serial"
+        ),
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(
+            pathlib.Path(__file__).resolve().parents[1]
+            / "BENCH_runtime.json"
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads for CI; equivalence checks at full strength",
+    )
+    args = parser.parse_args()
+
+    sections = {
+        "executor": bench_executor(args.smoke),
+        "campaign_shrink": bench_campaign_shrink(args.smoke),
+        "sweep": bench_sweep(args.smoke),
+        "parallel": bench_parallel(args.smoke),
+    }
+    snapshot = {
+        "python": sys.version.split()[0],
+        "cores": available_parallelism(),
+        "smoke": args.smoke,
+        "sections": sections,
+    }
+    pathlib.Path(args.out).write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    )
+
+    failures = [
+        name
+        for name, section in sections.items()
+        if not section["identical_output"]
+    ]
+    for name, section in sections.items():
+        speed = section.get("speedup")
+        extra = f", speedup {speed:.2f}x" if speed else ""
+        print(
+            f"{name}: identical={section['identical_output']}{extra}"
+        )
+    print(f"wrote {args.out}")
+    if failures:
+        print(f"EQUIVALENCE FAILURES: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,7 @@ from .sweep import (
     node_bound_sweep,
 )
 from .adversary_search import SearchResult, search_agreement_attacks
+from .parallel import ParallelRunner, available_parallelism, fork_available
 from .campaign import (
     CampaignConfig,
     CampaignResult,
@@ -58,6 +59,7 @@ __all__ = [
     "FRONTIER_HEADERS",
     "FrontierRow",
     "NodeFault",
+    "ParallelRunner",
     "SWEEP_HEADERS",
     "SweepRow",
     "campaign_to_dict",
@@ -77,6 +79,8 @@ __all__ = [
     "measure_convergence",
     "theoretical_dlpsw_factor",
     "SearchResult",
+    "available_parallelism",
+    "fork_available",
     "full_report",
     "render_report",
     "save_witness",

@@ -103,6 +103,35 @@ def build_adversary(
     raise ValueError(kind)
 
 
+def _attack_attempt(
+    graph: CommunicationGraph,
+    device_factory: Callable[[CommunicationGraph], Mapping[NodeId, SyncDevice]],
+    max_faults: int,
+    rounds: int,
+    value_pool: Sequence[Any],
+    spec: ByzantineAgreementSpec,
+    rng: random.Random,
+) -> tuple[Mapping[NodeId, str], Mapping[NodeId, Any], Any]:
+    """One attack attempt drawn from ``rng``; returns the strategy map,
+    the inputs, and the spec verdict."""
+    nodes = list(graph.nodes)
+    honest = dict(device_factory(graph))
+    faulty_nodes = rng.sample(nodes, max_faults)
+    strategies: dict[NodeId, str] = {}
+    devices = dict(honest)
+    for node in faulty_nodes:
+        kind = rng.choice(STRATEGIES)
+        strategies[node] = kind
+        devices[node] = build_adversary(
+            kind, node, honest[node], graph, rounds, rng, value_pool
+        )
+    inputs = {u: rng.choice(value_pool) for u in nodes}
+    behavior = run(make_system(graph, devices, inputs), rounds)
+    correct = [u for u in nodes if u not in strategies]
+    verdict = spec.check(inputs, behavior.decisions(), correct)
+    return (strategies, inputs, verdict)
+
+
 def search_agreement_attacks(
     graph: CommunicationGraph,
     device_factory: Callable[[CommunicationGraph], Mapping[NodeId, SyncDevice]],
@@ -112,40 +141,68 @@ def search_agreement_attacks(
     seed: int = 0,
     value_pool: Sequence[Any] = (0, 1),
     spec: ByzantineAgreementSpec | None = None,
+    jobs: int | None = None,
 ) -> SearchResult:
     """Randomly attack a Byzantine-agreement protocol.
 
     ``device_factory(graph)`` builds a fresh honest device assignment;
     each attempt replaces a random ``f``-subset with random strategies
     and random inputs, runs, and checks the spec over correct nodes.
+
+    ``jobs=None`` (the default) keeps the historical sampling format:
+    one rng stream threaded through all attempts.  Any integer ``jobs``
+    switches to *indexed* sampling — a private stream per attempt,
+    seeded by ``(seed, attempt)`` — which is what lets attempts fan
+    out across a process pool.  Indexed results are identical for
+    every ``jobs`` value (``jobs=1`` runs the same samples serially);
+    they just differ from the legacy stream's draws.
     """
     spec = spec or ByzantineAgreementSpec()
-    rng = random.Random(seed)
-    nodes = list(graph.nodes)
-    for attempt in range(1, attempts + 1):
-        honest = dict(device_factory(graph))
-        faulty_nodes = rng.sample(nodes, max_faults)
-        strategies = {}
-        devices = dict(honest)
-        for node in faulty_nodes:
-            kind = rng.choice(STRATEGIES)
-            strategies[node] = kind
-            devices[node] = build_adversary(
-                kind, node, honest[node], graph, rounds, rng, value_pool
+    if jobs is None:
+        rng = random.Random(seed)
+        for attempt in range(1, attempts + 1):
+            strategies, inputs, verdict = _attack_attempt(
+                graph, device_factory, max_faults, rounds, value_pool, spec,
+                rng,
             )
-        inputs = {u: rng.choice(value_pool) for u in nodes}
-        behavior = run(make_system(graph, devices, inputs), rounds)
-        correct = [u for u in nodes if u not in strategies]
-        verdict = spec.check(inputs, behavior.decisions(), correct)
-        if not verdict.ok:
-            return SearchResult(
-                attempts=attempt,
-                broken=True,
-                attack=Attack(
-                    faulty=strategies, inputs=inputs, seed=seed
-                ),
-                verdict=verdict,
-            )
+            if not verdict.ok:
+                return SearchResult(
+                    attempts=attempt,
+                    broken=True,
+                    attack=Attack(
+                        faulty=strategies, inputs=inputs, seed=seed
+                    ),
+                    verdict=verdict,
+                )
+        return SearchResult(
+            attempts=attempts, broken=False, attack=None, verdict=None
+        )
+
+    from .parallel import ParallelRunner
+
+    def probe(attempt: int):
+        rng = random.Random(f"{seed}:attack:{attempt}")
+        strategies, inputs, verdict = _attack_attempt(
+            graph, device_factory, max_faults, rounds, value_pool, spec, rng
+        )
+        return (attempt, strategies, inputs, verdict)
+
+    runner = ParallelRunner(jobs)
+    batch = max(4 * runner.jobs, 8)
+    for lo in range(1, attempts + 1, batch):
+        hi = min(lo + batch, attempts + 1)
+        for attempt, strategies, inputs, verdict in runner.map(
+            probe, range(lo, hi)
+        ):
+            if not verdict.ok:
+                return SearchResult(
+                    attempts=attempt,
+                    broken=True,
+                    attack=Attack(
+                        faulty=strategies, inputs=inputs, seed=seed
+                    ),
+                    verdict=verdict,
+                )
     return SearchResult(
         attempts=attempts, broken=False, attack=None, verdict=None
     )

@@ -14,6 +14,16 @@ budget upward and record, per spec clause (agreement / validity /
 termination), the first budget at which it breaks.  Together these grow
 the repo from "the theorems' constructions" toward "as many failure
 scenarios as you can imagine", with every run replayable.
+
+Performance (PR 2): every attempt is deterministic given its content,
+so :func:`execute_attempt` memoizes through a content-addressed
+:class:`~repro.runtime.memo.BehaviorCache` — the shrinker's and
+replayer's re-executions of identical ``(inputs, node faults, plan)``
+configurations become cache hits — and :func:`run_campaign` /
+:func:`degradation_frontier` accept ``jobs=N`` to fan attempts /
+budget levels across a process pool with serial-identical results
+(attempts are merged in index order; the first violating index wins,
+exactly as in the serial scan).
 """
 
 from __future__ import annotations
@@ -34,11 +44,18 @@ from ..runtime.faults import (
     SyncFaultInjector,
     partition_between,
 )
+from ..runtime.memo import (
+    BehaviorCache,
+    fingerprint,
+    graph_fingerprint,
+    plan_fingerprint,
+)
 from ..runtime.sync.behavior import SyncBehavior
 from ..runtime.sync.device import SyncDevice
 from ..runtime.sync.executor import run
 from ..runtime.sync.system import make_system
 from .adversary_search import STRATEGIES, build_adversary
+from .parallel import ParallelRunner
 
 DeviceFactory = Callable[[CommunicationGraph], Mapping[NodeId, SyncDevice]]
 
@@ -235,11 +252,55 @@ def _sample_node_faults(
 # -- execution -------------------------------------------------------------
 
 
+def _config_token(config: CampaignConfig) -> str:
+    """Canonical fingerprint of the parts of a config that determine an
+    attempt's outcome (graph shape, rounds, value pool, spec, and the
+    device factory's source location).  Memoized on the config object.
+
+    Two *distinct* factories defined on the same source line would
+    collide, so sharing one :class:`BehaviorCache` across configs is
+    only safe when their factories live at different definition sites;
+    the default per-campaign cache is always safe.
+    """
+    token = config.__dict__.get("_memo_token")
+    if token is None:
+        factory = config.device_factory
+        code = getattr(factory, "__code__", None)
+        token = fingerprint(
+            graph_fingerprint(config.graph),
+            config.rounds,
+            repr(config.value_pool),
+            repr(config.spec),
+            getattr(factory, "__module__", ""),
+            getattr(factory, "__qualname__", repr(factory)),
+            code.co_filename if code is not None else "",
+            code.co_firstlineno if code is not None else -1,
+        )
+        config.__dict__["_memo_token"] = token
+    return token
+
+
+def _attempt_key(
+    config: CampaignConfig,
+    inputs: Mapping[NodeId, Any],
+    node_faults: Sequence[NodeFault],
+    plan: FaultPlan,
+) -> str:
+    """Content-addressed key of one fully specified attempt."""
+    return fingerprint(
+        _config_token(config),
+        tuple(sorted((str(u), repr(v)) for u, v in inputs.items())),
+        tuple((str(nf.node), nf.kind, nf.key) for nf in node_faults),
+        plan_fingerprint(plan),
+    )
+
+
 def execute_attempt(
     config: CampaignConfig,
     inputs: Mapping[NodeId, Any],
     node_faults: Sequence[NodeFault],
     plan: FaultPlan,
+    cache: BehaviorCache | None = None,
 ) -> tuple[SyncBehavior, SpecVerdict, InjectionTrace]:
     """Run one fully specified configuration and check the spec.
 
@@ -248,7 +309,18 @@ def execute_attempt(
     A device that crashes on injected garbage is itself a robustness
     finding and is reported as an ``execution`` violation rather than
     as a campaign error.
+
+    With a ``cache``, the attempt is keyed by its *content* — inputs,
+    node faults, fault plan, and the config's fingerprint — and a
+    repeat execution (the shrinker and replayer produce many) returns
+    the cached ``(behavior, verdict, trace)`` without re-running.
+    Determinism makes this sound: equal content ⇒ equal results.
     """
+    if cache is not None:
+        key = _attempt_key(config, inputs, node_faults, plan)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
     graph = config.graph
     devices = dict(config.device_factory(graph))
     for nf in node_faults:
@@ -278,13 +350,19 @@ def execute_attempt(
             )
         )
         empty = SyncBehavior(graph=graph, rounds=0)
-        return (empty, verdict, injector.trace)
-    verdict = config.spec.check(inputs, behavior.decisions(), correct)
-    return (behavior, verdict, injector.trace)
+        result = (empty, verdict, injector.trace)
+    else:
+        verdict = config.spec.check(inputs, behavior.decisions(), correct)
+        result = (behavior, verdict, injector.trace)
+    if cache is not None:
+        cache.put(key, result)
+    return result
 
 
 def replay_counterexample(
-    config: CampaignConfig, counterexample: Counterexample
+    config: CampaignConfig,
+    counterexample: Counterexample,
+    cache: BehaviorCache | None = None,
 ) -> tuple[SyncBehavior, SpecVerdict, InjectionTrace]:
     """Re-run a counterexample exactly; deterministic by construction."""
     return execute_attempt(
@@ -292,6 +370,7 @@ def replay_counterexample(
         counterexample.inputs,
         counterexample.node_faults,
         counterexample.plan,
+        cache,
     )
 
 
@@ -299,14 +378,18 @@ def replay_counterexample(
 
 
 def shrink_counterexample(
-    config: CampaignConfig, found: Counterexample
+    config: CampaignConfig,
+    found: Counterexample,
+    cache: BehaviorCache | None = None,
 ) -> tuple[Counterexample, int]:
     """Greedy delta debugging: repeatedly delete one fault atom or one
     faulty node while the spec still breaks; stop at a local minimum.
 
     Returns the minimal counterexample and the number of successful
     deletions.  The result is *1-minimal*: removing any single
-    remaining fault makes the violation disappear.
+    remaining fault makes the violation disappear.  A ``cache`` makes
+    the re-executed overlap between shrink iterations (and the final
+    replay) free.
     """
     current = found
     steps = 0
@@ -316,7 +399,8 @@ def shrink_counterexample(
         for i in range(current.plan.size):
             candidate_plan = current.plan.without_atoms([i])
             _, verdict, _ = execute_attempt(
-                config, current.inputs, current.node_faults, candidate_plan
+                config, current.inputs, current.node_faults, candidate_plan,
+                cache,
             )
             if not verdict.ok:
                 current = Counterexample(
@@ -336,7 +420,7 @@ def shrink_counterexample(
                 current.node_faults[:i] + current.node_faults[i + 1 :]
             )
             _, verdict, _ = execute_attempt(
-                config, current.inputs, candidate_nodes, current.plan
+                config, current.inputs, candidate_nodes, current.plan, cache
             )
             if not verdict.ok:
                 current = Counterexample(
@@ -355,47 +439,124 @@ def shrink_counterexample(
 # -- the campaign ----------------------------------------------------------
 
 
-def run_campaign(config: CampaignConfig) -> CampaignResult:
+def _sample_attempt(
+    config: CampaignConfig, attempt: int
+) -> tuple[tuple[NodeFault, ...], FaultPlan, dict[NodeId, Any]]:
+    """The deterministic sample for one attempt index.
+
+    One private rng stream per attempt (seeded by ``(seed, attempt)``),
+    so any attempt can be regenerated in isolation — the property the
+    parallel driver and the replayer both rely on.  Draw order (node
+    faults, then plan, then inputs) is part of the format and must not
+    change.
+    """
+    rng = random.Random(f"{config.seed}:{attempt}")
+    node_faults = _sample_node_faults(config, attempt, rng)
+    plan = sample_fault_plan(
+        config.graph,
+        config.rounds,
+        config.max_link_faults,
+        rng,
+        kinds=config.link_kinds,
+        seed=config.seed,
+        value_pool=config.value_pool,
+    )
+    inputs = {
+        u: rng.choice(config.value_pool)
+        for u in sorted(config.graph.nodes, key=repr)
+    }
+    return (node_faults, plan, inputs)
+
+
+def _finish_campaign(
+    config: CampaignConfig, attempt: int, cache: BehaviorCache | None
+) -> CampaignResult:
+    """Shrink and replay the violation at ``attempt`` (known to break)."""
+    node_faults, plan, inputs = _sample_attempt(config, attempt)
+    _, verdict, _ = execute_attempt(config, inputs, node_faults, plan, cache)
+    found = Counterexample(
+        inputs=inputs,
+        node_faults=node_faults,
+        plan=plan,
+        verdict=verdict,
+        attempt=attempt,
+    )
+    shrunk, steps = shrink_counterexample(config, found, cache)
+    _, _, trace = replay_counterexample(config, shrunk, cache)
+    return CampaignResult(
+        config=config,
+        attempts=attempt,
+        found=found,
+        shrunk=shrunk,
+        shrink_steps=steps,
+        injection_trace=trace,
+    )
+
+
+def run_campaign(
+    config: CampaignConfig,
+    jobs: int = 1,
+    cache: BehaviorCache | None = None,
+    memoize: bool = True,
+) -> CampaignResult:
     """Sample attempts under the combined budget until a spec violation
-    appears (then shrink it) or the attempt budget is exhausted."""
+    appears (then shrink it) or the attempt budget is exhausted.
+
+    ``jobs > 1`` fans attempt evaluation across a process pool in
+    batches; the smallest violating attempt index wins, so the result
+    (including the shrunk counterexample and its trace) is identical
+    to the serial scan.  ``cache`` (created fresh when ``memoize`` and
+    not supplied) memoizes every execution by content — pass your own
+    :class:`~repro.runtime.memo.BehaviorCache` to read hit/miss
+    statistics afterwards, or ``memoize=False`` to measure uncached
+    cost.
+    """
+    if cache is None and memoize:
+        cache = BehaviorCache()
+    if jobs > 1:
+        return _run_campaign_parallel(config, jobs, cache)
     for attempt in range(1, config.attempts + 1):
-        rng = random.Random(f"{config.seed}:{attempt}")
-        node_faults = _sample_node_faults(config, attempt, rng)
-        plan = sample_fault_plan(
-            config.graph,
-            config.rounds,
-            config.max_link_faults,
-            rng,
-            kinds=config.link_kinds,
-            seed=config.seed,
-            value_pool=config.value_pool,
+        node_faults, plan, inputs = _sample_attempt(config, attempt)
+        _, verdict, _ = execute_attempt(
+            config, inputs, node_faults, plan, cache
         )
-        inputs = {
-            u: rng.choice(config.value_pool)
-            for u in sorted(config.graph.nodes, key=repr)
-        }
-        _, verdict, _ = execute_attempt(config, inputs, node_faults, plan)
         if not verdict.ok:
-            found = Counterexample(
-                inputs=inputs,
-                node_faults=node_faults,
-                plan=plan,
-                verdict=verdict,
-                attempt=attempt,
-            )
-            shrunk, steps = shrink_counterexample(config, found)
-            _, _, trace = replay_counterexample(config, shrunk)
-            return CampaignResult(
-                config=config,
-                attempts=attempt,
-                found=found,
-                shrunk=shrunk,
-                shrink_steps=steps,
-                injection_trace=trace,
-            )
+            return _finish_campaign(config, attempt, cache)
     return CampaignResult(
         config=config, attempts=config.attempts, found=None, shrunk=None
     )
+
+
+def _run_campaign_parallel(
+    config: CampaignConfig, jobs: int, cache: BehaviorCache | None
+) -> CampaignResult:
+    """Parallel attempt scan: batches of indices fan out to workers,
+    which return only ``(attempt, spec ok)`` — small, picklable, and
+    free of the config's (unpicklable) device factory, which the
+    forked children inherit by memory instead.  Shrinking stays in the
+    parent, warmed by the parent-side cache."""
+
+    def probe(attempt: int) -> tuple[int, bool]:
+        node_faults, plan, inputs = _sample_attempt(config, attempt)
+        _, verdict, _ = execute_attempt(config, inputs, node_faults, plan)
+        return (attempt, verdict.ok)
+
+    runner = ParallelRunner(jobs)
+    batch = max(4 * runner.jobs, 8)
+    first_bad: int | None = None
+    for lo in range(1, config.attempts + 1, batch):
+        hi = min(lo + batch, config.attempts + 1)
+        for attempt, ok in runner.map(probe, range(lo, hi)):
+            if not ok:
+                first_bad = attempt
+                break
+        if first_bad is not None:
+            break
+    if first_bad is None:
+        return CampaignResult(
+            config=config, attempts=config.attempts, found=None, shrunk=None
+        )
+    return _finish_campaign(config, first_bad, cache)
 
 
 # -- graceful degradation --------------------------------------------------
@@ -443,18 +604,25 @@ def degradation_frontier(
     config: CampaignConfig,
     max_link_faults: int | None = None,
     attempts_per_level: int | None = None,
+    jobs: int = 1,
+    cache: BehaviorCache | None = None,
 ) -> DegradationFrontier:
     """Sweep the link budget 0..max and report, per spec clause, the
-    smallest budget at which a campaign finds a violation of it."""
+    smallest budget at which a campaign finds a violation of it.
+
+    Budget levels are independent campaigns, so ``jobs > 1`` evaluates
+    them across a process pool; rows come back in budget order and the
+    ``first_break`` fold runs over them exactly as the serial loop
+    did, so the frontier is identical either way.
+    """
     max_links = (
         config.max_link_faults if max_link_faults is None else max_link_faults
     )
     attempts = (
         config.attempts if attempts_per_level is None else attempts_per_level
     )
-    first_break: dict[str, int | None] = dict.fromkeys(SPEC_CONDITIONS)
-    rows: list[FrontierRow] = []
-    for budget in range(max_links + 1):
+
+    def level_row(budget: int) -> FrontierRow:
         level = CampaignConfig(
             graph=config.graph,
             device_factory=config.device_factory,
@@ -467,7 +635,7 @@ def degradation_frontier(
             link_kinds=config.link_kinds,
             spec=config.spec,
         )
-        result = run_campaign(level)
+        result = run_campaign(level, cache=cache)
         broken: tuple[str, ...] = ()
         if result.broken:
             assert result.shrunk is not None
@@ -476,17 +644,20 @@ def degradation_frontier(
                     v.condition for v in result.shrunk.verdict.violations
                 )
             )
-            for condition in broken:
-                if first_break.get(condition) is None:
-                    first_break[condition] = budget
-        rows.append(
-            FrontierRow(
-                link_budget=budget,
-                attempts=attempts,
-                broken_conditions=broken,
-                example=result.shrunk,
-            )
+        return FrontierRow(
+            link_budget=budget,
+            attempts=attempts,
+            broken_conditions=broken,
+            example=result.shrunk,
         )
+
+    runner = ParallelRunner(jobs)
+    rows = runner.map(level_row, range(max_links + 1))
+    first_break: dict[str, int | None] = dict.fromkeys(SPEC_CONDITIONS)
+    for row in rows:
+        for condition in row.broken_conditions:
+            if first_break.get(condition) is None:
+                first_break[condition] = row.link_budget
     return DegradationFrontier(
         rows=tuple(rows), first_break=first_break
     )

@@ -6,12 +6,19 @@ protocol on the adequate side and the impossibility engine on the
 inadequate side.  The result rows show the sharp threshold the paper
 proves — protocol success at exactly ``3f + 1`` / ``2f + 1`` and an
 engine-constructed counterexample one step below.
+
+Sweep points are independent deterministic runs, so both sweeps take
+``jobs=N`` to fan points across a process pool
+(:class:`~repro.analysis.parallel.ParallelRunner`); rows are merged in
+point order, so parallel output is identical to serial.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any
+
+from .parallel import ParallelRunner
 
 from ..core.byzantine import refute_connectivity, refute_node_bound
 from ..graphs.adequacy import classify
@@ -109,37 +116,51 @@ def _run_engine_point(
     )
 
 
-def node_bound_sweep(max_faults_values: tuple[int, ...] = (1, 2)) -> list[SweepRow]:
+def _node_bound_point(point: tuple[int, int]) -> SweepRow:
+    """Evaluate one (f, n) point (module-level: picklable by name)."""
+    f, n = point
+    graph = complete_graph(n)
+    if n <= 3 * f:
+        return _run_engine_point(graph, f, by="nodes")
+    return _run_protocol_point(graph, f)
+
+
+def node_bound_sweep(
+    max_faults_values: tuple[int, ...] = (1, 2), jobs: int = 1
+) -> list[SweepRow]:
     """Sweep ``n`` across ``3f + 1`` on complete graphs (TIGHT-N)."""
-    rows = []
-    for f in max_faults_values:
-        for n in range(3, 3 * f + 3):
-            graph = complete_graph(n)
-            if n <= 3 * f:
-                rows.append(_run_engine_point(graph, f, by="nodes"))
-            else:
-                rows.append(_run_protocol_point(graph, f))
-    return rows
+    points = [
+        (f, n)
+        for f in max_faults_values
+        for n in range(3, 3 * f + 3)
+    ]
+    return ParallelRunner(jobs).map(_node_bound_point, points)
+
+
+def _connectivity_point(point: tuple[tuple[int, ...], int, int]) -> SweepRow:
+    """Evaluate one (offsets, f, n) circulant point."""
+    offsets, max_faults, n_nodes = point
+    graph = circulant(n_nodes, list(offsets))
+    kappa = node_connectivity(graph)
+    if kappa < 2 * max_faults + 1:
+        return _run_engine_point(graph, max_faults, by="connectivity")
+    # Adequate by connectivity; for a full protocol run we also
+    # need n >= 3f+1, which holds here.
+    return _relay_point(graph, max_faults)
 
 
 def connectivity_sweep(
-    max_faults: int = 1, n_nodes: int = 8
+    max_faults: int = 1, n_nodes: int = 8, jobs: int = 1
 ) -> list[SweepRow]:
     """Sweep connectivity across ``2f + 1`` on circulant graphs
     (TIGHT-K).  Circulants with offsets ``1..k`` have connectivity
     ``2k``; adding the half-way chord raises it further."""
-    rows = []
-    for offsets in ([1], [1, 2], [1, 2, 3]):
-        graph = circulant(n_nodes, offsets)
-        kappa = node_connectivity(graph)
-        if kappa < 2 * max_faults + 1:
-            rows.append(_run_engine_point(graph, max_faults, by="connectivity"))
-        else:
-            # Adequate by connectivity; for a full protocol run we also
-            # need n >= 3f+1, which holds here.
-            row = _relay_point(graph, max_faults)
-            rows.append(row)
-    return rows
+    points = [
+        ((1,), max_faults, n_nodes),
+        ((1, 2), max_faults, n_nodes),
+        ((1, 2, 3), max_faults, n_nodes),
+    ]
+    return ParallelRunner(jobs).map(_connectivity_point, points)
 
 
 def _relay_point(graph: CommunicationGraph, max_faults: int) -> SweepRow:

@@ -19,13 +19,17 @@ Examples
     python -m repro campaign --protocol naive --graph complete:4 --links 2
     python -m repro campaign --protocol eig --graph complete:4 --faults 1
     python -m repro --seed 7 campaign --protocol naive --frontier
+    python -m repro campaign --protocol naive --graph complete:4 --jobs 4
+    python -m repro sweep nodes --faults 1 2 --jobs 4
 
 Graph specs: ``triangle``, ``diamond``, ``complete:N``, ``ring:N``,
 ``wheel:N``, ``star:N``, ``circulant:N:o1,o2,...``.
 
 The global ``--seed`` (before the subcommand) drives every randomized
 search — adversary attacks and fault campaigns alike — so any run is
-reproducible from the command line.
+reproducible from the command line.  ``--jobs N`` on ``campaign`` /
+``sweep`` / ``attack`` fans the independent work units across worker
+processes; results (and ``--json`` files) are identical to serial runs.
 """
 
 from __future__ import annotations
@@ -169,10 +173,10 @@ def _cmd_refute(args) -> int:
 
 def _cmd_sweep(args) -> int:
     if args.dimension == "nodes":
-        rows = node_bound_sweep(tuple(args.faults))
+        rows = node_bound_sweep(tuple(args.faults), jobs=args.jobs)
         title = f"Theorem 1 node-bound sweep, f in {args.faults}"
     else:
-        rows = connectivity_sweep(args.faults[0])
+        rows = connectivity_sweep(args.faults[0], jobs=args.jobs)
         title = f"Connectivity sweep, f = {args.faults[0]}"
     print(format_table(SWEEP_HEADERS, [r.as_tuple() for r in rows], title))
     return 0
@@ -235,6 +239,7 @@ def _cmd_attack(args) -> int:
         rounds=rounds,
         attempts=args.attempts,
         seed=args.seed,
+        jobs=args.jobs,
     )
     print(result.describe())
     return 0
@@ -249,6 +254,7 @@ def _cmd_campaign(args) -> int:
         run_campaign,
     )
     from .analysis.tables import format_table
+    from .runtime.memo import BehaviorCache
 
     graph = parse_graph(args.graph)
     factory, default_rounds = _campaign_factory(args.protocol, args.faults)
@@ -282,7 +288,7 @@ def _cmd_campaign(args) -> int:
     if args.frontier:
         from .analysis.campaign import FRONTIER_HEADERS
 
-        frontier = degradation_frontier(config)
+        frontier = degradation_frontier(config, jobs=args.jobs)
         print(
             format_table(
                 FRONTIER_HEADERS,
@@ -294,8 +300,11 @@ def _cmd_campaign(args) -> int:
         print(frontier.describe())
         return 0
 
-    result = run_campaign(config)
+    cache = BehaviorCache()
+    result = run_campaign(config, jobs=args.jobs, cache=cache)
     print(result.describe())
+    if args.verbose:
+        print(cache.describe())
     if result.broken and args.verbose and result.injection_trace:
         print("injection trace of the shrunk counterexample:")
         print(result.injection_trace.describe())
@@ -354,6 +363,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="threshold sweeps")
     p.add_argument("dimension", choices=["nodes", "connectivity"])
     p.add_argument("--faults", type=int, nargs="+", default=[1])
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="fan sweep points across N worker processes "
+        "(output identical to serial)",
+    )
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -375,6 +389,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", type=int, default=1)
     p.add_argument("--rounds", type=int, default=None)
     p.add_argument("--attempts", type=int, default=200)
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel attack search with per-attempt seeding "
+        "(same results for any N; omit for the legacy serial stream)",
+    )
     p.set_defaults(func=_cmd_attack)
 
     p = sub.add_parser(
@@ -395,6 +414,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--kinds",
         help="comma-separated link-fault kinds "
         "(drop,corrupt,delay,omit,partition)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="fan campaign attempts (or frontier levels) across N worker "
+        "processes; reports are byte-identical to serial runs",
     )
     p.add_argument(
         "--frontier", action="store_true",

@@ -14,6 +14,14 @@
     :class:`~repro.runtime.faults.FaultPlan` schedules (drop, corrupt,
     delay, omission bursts, partitions), deterministic injectors, and
     replayable injection traces.
+
+:mod:`repro.runtime.plan`
+    Compiled execution plans: everything the executors used to
+    re-resolve per node per round/event, pre-resolved once per system.
+
+:mod:`repro.runtime.memo`
+    Bounded, content-addressed behavior memoization (determinism makes
+    re-execution a cache lookup), with hit/miss counters.
 """
 
 from .faults import (
@@ -27,15 +35,39 @@ from .faults import (
     TimedFaultInjector,
     partition_between,
 )
+from .memo import (
+    BehaviorCache,
+    behavior_cache_of,
+    fingerprint,
+    graph_fingerprint,
+    memoized_run,
+    plan_fingerprint,
+)
+from .plan import (
+    SyncPlan,
+    TimedPlan,
+    compile_sync_plan,
+    compile_timed_plan,
+)
 
 __all__ = [
     "FAULT_KINDS",
+    "BehaviorCache",
     "FaultPlan",
     "InjectionRecord",
     "InjectionTrace",
     "LinkFault",
     "Partition",
     "SyncFaultInjector",
+    "SyncPlan",
     "TimedFaultInjector",
+    "TimedPlan",
+    "behavior_cache_of",
+    "compile_sync_plan",
+    "compile_timed_plan",
+    "fingerprint",
+    "graph_fingerprint",
+    "memoized_run",
     "partition_between",
+    "plan_fingerprint",
 ]

@@ -1,0 +1,198 @@
+"""Bounded, content-addressed behavior memoization.
+
+Systems here are deterministic by axiom — a (system, rounds,
+FaultPlan) triple has exactly **one** behavior and one injection
+trace.  That turns re-execution into a pure cache-lookup problem: the
+campaign engine's delta-debugging shrinker re-runs hundreds of
+overlapping plan subsets, a replay re-runs the exact shrunk
+configuration, and scenario cut-outs re-run the same system at the
+same horizon.  This module provides:
+
+* :class:`BehaviorCache` — a bounded LRU mapping canonical fingerprint
+  strings to results, with hit/miss counters (``cache.stats()``).
+* :func:`fingerprint` / :func:`plan_fingerprint` /
+  :func:`graph_fingerprint` — canonical content keys.  Fingerprints
+  hash *values* (sorted node/edge names, the fault plan's JSON form),
+  never object identities, so a rebuilt-but-equal configuration hits.
+* :func:`memoized_run` — a drop-in for ``run()`` keyed by
+  ``(rounds, fault plan)`` with the cache stored on the system object
+  itself, so the memo lives exactly as long as the system and two
+  different systems can never alias.
+
+Correctness contract: a cache hit returns the *same objects* a fresh
+execution would have produced equal objects to.  That is only sound
+because devices are pure and behaviors/traces are treated as immutable
+values everywhere in this repo — the executors never mutate a behavior
+after returning it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any
+
+from .faults import FaultPlan, InjectionTrace, SyncFaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..graphs.graph import CommunicationGraph
+    from .sync.behavior import SyncBehavior
+    from .sync.system import SyncSystem
+
+_MEMO_ATTR = "_behavior_memo"
+
+
+class BehaviorCache:
+    """A bounded LRU cache from fingerprint strings to results.
+
+    ``get`` returns ``None`` on a miss (cached values are never
+    ``None``), moves hits to the MRU end, and counts every lookup;
+    ``put`` evicts from the LRU end once ``maxsize`` is exceeded.
+    """
+
+    __slots__ = ("_data", "maxsize", "hits", "misses")
+
+    def __init__(self, maxsize: int = 512) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self._data: OrderedDict[str, Any] = OrderedDict()
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Any | None:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        if value is None:
+            raise ValueError("cached values must not be None")
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
+
+    def describe(self) -> str:
+        s = self.stats()
+        total = s["hits"] + s["misses"]
+        rate = (100.0 * s["hits"] / total) if total else 0.0
+        return (
+            f"cache: {s['hits']} hits / {s['misses']} misses "
+            f"({rate:.0f}% hit rate), {s['size']}/{s['maxsize']} entries"
+        )
+
+
+# -- fingerprints ----------------------------------------------------------
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 over the ``repr`` of ``parts``.
+
+    Callers are responsible for passing *canonical* parts — strings,
+    numbers, and tuples/sorted lists thereof — so that equal content
+    yields equal keys regardless of construction order.
+    """
+    digest = hashlib.sha256(repr(parts).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def plan_fingerprint(plan: FaultPlan | None) -> str:
+    """Canonical fingerprint of a fault plan (``None`` = fault-free).
+
+    Uses the plan's JSON form with sorted keys, so plans that are equal
+    as values fingerprint identically however they were assembled.
+    """
+    if plan is None:
+        return "fault-free"
+    return fingerprint(json.dumps(plan.to_dict(), sort_keys=True))
+
+
+def graph_fingerprint(graph: "CommunicationGraph") -> str:
+    """Canonical fingerprint of a communication graph's shape."""
+    return fingerprint(
+        tuple(sorted(map(str, graph.nodes))),
+        tuple(sorted(f"{u}->{v}" for (u, v) in graph.edges)),
+    )
+
+
+# -- memoized execution ----------------------------------------------------
+
+
+def behavior_cache_of(system: "SyncSystem") -> BehaviorCache:
+    """The per-system behavior cache (created on first use).
+
+    Stored in the (frozen) system's ``__dict__`` — the
+    ``functools.cached_property`` trick — so its lifetime is the
+    system's and keys need not include system identity at all.
+    """
+    cache = system.__dict__.get(_MEMO_ATTR)
+    if cache is None:
+        cache = BehaviorCache(maxsize=64)
+        system.__dict__[_MEMO_ATTR] = cache
+    return cache
+
+
+def memoized_run(
+    system: "SyncSystem",
+    rounds: int,
+    plan: FaultPlan | None = None,
+    cache: BehaviorCache | None = None,
+) -> tuple["SyncBehavior", InjectionTrace | None]:
+    """Run ``system`` (optionally under a fault ``plan``), memoized.
+
+    Returns ``(behavior, injection trace)`` — the trace is ``None``
+    for fault-free runs.  Keys are ``(rounds, plan fingerprint)``
+    against the per-system cache (or an explicit shared ``cache``, in
+    which case system identity is part of the key via the compiled
+    plan's id — share caches across systems only through the campaign
+    layer, which keys by content).  Determinism makes caching the
+    trace sound: same system + same plan ⇒ identical trace.
+    """
+    from .sync.executor import run
+
+    if cache is None:
+        cache = behavior_cache_of(system)
+        key = fingerprint("sync-run", rounds, plan_fingerprint(plan))
+    else:
+        key = fingerprint("sync-run", id(system), rounds, plan_fingerprint(plan))
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    injector = SyncFaultInjector(plan) if plan is not None else None
+    behavior = run(system, rounds, injector)
+    result = (behavior, injector.trace if injector is not None else None)
+    cache.put(key, result)
+    return result
+
+
+__all__ = [
+    "BehaviorCache",
+    "behavior_cache_of",
+    "fingerprint",
+    "graph_fingerprint",
+    "memoized_run",
+    "plan_fingerprint",
+]

@@ -24,7 +24,7 @@ from .device import (
     State,
     SyncDevice,
 )
-from .executor import ExecutionError, check_determinism, run
+from .executor import ExecutionError, check_determinism, execute_plan, run
 from .system import (
     NodeAssignment,
     SyncSystem,
@@ -59,6 +59,7 @@ __all__ = [
     "SyncSystem",
     "TwoFacedDevice",
     "check_determinism",
+    "execute_plan",
     "identity_ports",
     "install_in_covering",
     "make_system",

@@ -10,6 +10,16 @@ is the operational guarantee behind the paper's axioms:
 * **Determinism** (one behavior per system) holds because devices are
   required to be pure; :func:`check_determinism` re-runs a system and
   compares traces.
+
+Since PR 2 the executor runs **compiled plans**
+(:mod:`repro.runtime.plan`): :func:`run` compiles the system once —
+device objects, contexts, valid-port sets, ``(edge, port)`` routing
+tables, inbox templates — and :func:`execute_plan` is the tight loop
+over those flat structures.  The observable behavior is byte-identical
+to the pre-plan interpretive loop (kept as
+:func:`repro.testing.reference_sync_run` and differentially tested);
+the fault injector still interposes on every per-edge slot between the
+send and receive phases, in the same order.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ from typing import Any
 
 from ...graphs.graph import DirectedEdge, NodeId
 from ..faults import SyncFaultInjector
+from ..plan import SyncPlan, compile_sync_plan
 from .behavior import EdgeBehavior, NodeBehavior, SyncBehavior
 from .device import NodeContext, SyncDevice
 from .system import SyncSystem
@@ -51,6 +62,80 @@ class _NodeRun:
             )
 
 
+def execute_plan(
+    plan: SyncPlan,
+    rounds: int,
+    injector: SyncFaultInjector | None = None,
+) -> SyncBehavior:
+    """Execute a compiled plan for ``rounds`` rounds.
+
+    This is the hot path: everything per-node and per-edge was resolved
+    at compile time, so each round is two flat passes over the compiled
+    node tuple.  Executing the same plan twice yields equal behaviors
+    (plans carry no per-run state).
+    """
+    if rounds < 0:
+        raise ExecutionError("rounds must be non-negative")
+    compiled = plan.nodes
+    runs: list[_NodeRun] = []
+    for cn in compiled:
+        state = cn.device.init_state(cn.ctx)
+        node_run = _NodeRun(states=[state])
+        runs.append(node_run)
+        node_run.observe_choice(cn.device, cn.ctx, 0, cn.node)
+
+    edge_messages: dict[DirectedEdge, list[Any]] = {
+        edge: [] for edge in plan.edges
+    }
+
+    for round_index in range(rounds):
+        # Phase 1: every node emits this round's messages.
+        outboxes: dict[DirectedEdge, Any] = {}
+        for cn, node_run in zip(compiled, runs):
+            out = cn.device.send(cn.ctx, node_run.states[-1], round_index)
+            valid_ports = cn.valid_ports
+            for label in out:
+                if label not in valid_ports:
+                    raise ExecutionError(
+                        f"device at {cn.node!r} sent on unknown port {label!r}"
+                    )
+            for edge, label in cn.out_routes:
+                message = out.get(label)
+                if injector is not None:
+                    message = injector.deliver(edge, round_index, message)
+                outboxes[edge] = message
+                edge_messages[edge].append(message)
+
+        # Phase 2: every node consumes its inbox and moves.
+        for cn, node_run in zip(compiled, runs):
+            inbox = {
+                label: outboxes[edge] for label, edge in cn.in_routes
+            }
+            state = cn.device.transition(
+                cn.ctx, node_run.states[-1], round_index, inbox
+            )
+            node_run.states.append(state)
+            node_run.observe_choice(cn.device, cn.ctx, round_index + 1, cn.node)
+
+    node_behaviors = {
+        cn.node: NodeBehavior(
+            states=tuple(r.states),
+            decision=r.decision,
+            decided_at=r.decided_at,
+        )
+        for cn, r in zip(compiled, runs)
+    }
+    edge_behaviors = {
+        edge: EdgeBehavior(tuple(msgs)) for edge, msgs in edge_messages.items()
+    }
+    return SyncBehavior(
+        graph=plan.graph,
+        rounds=rounds,
+        node_behaviors=node_behaviors,
+        edge_behaviors=edge_behaviors,
+    )
+
+
 def run(
     system: SyncSystem,
     rounds: int,
@@ -58,94 +143,33 @@ def run(
 ) -> SyncBehavior:
     """Execute ``system`` for ``rounds`` rounds; return its behavior.
 
-    With an ``injector`` (see :mod:`repro.runtime.faults`) every
-    per-edge message slot is passed through the injector between the
-    send and receive phases; edge behaviors then record what the
+    Compiles the system to a :class:`~repro.runtime.plan.SyncPlan`
+    (memoized on the system object, so repeated runs compile once) and
+    executes it.  With an ``injector`` (see :mod:`repro.runtime.faults`)
+    every per-edge message slot is passed through the injector between
+    the send and receive phases; edge behaviors then record what the
     channel *delivered*, and the injector's trace records what it did.
     Without one, the code path is the classic reliable-channel
     executor, byte-for-byte.
     """
-    if rounds < 0:
-        raise ExecutionError("rounds must be non-negative")
-    graph = system.graph
-    contexts = {u: system.context(u) for u in graph.nodes}
-    runs: dict[NodeId, _NodeRun] = {}
-    for u in graph.nodes:
-        device = system.device(u)
-        state = device.init_state(contexts[u])
-        node_run = _NodeRun(states=[state])
-        runs[u] = node_run
-        node_run.observe_choice(device, contexts[u], 0, u)
-
-    edge_messages: dict[DirectedEdge, list[Any]] = {
-        edge: [] for edge in graph.edges
-    }
-
-    for round_index in range(rounds):
-        # Phase 1: every node emits this round's messages.
-        outboxes: dict[DirectedEdge, Any] = {}
-        for u in graph.nodes:
-            device = system.device(u)
-            ctx = contexts[u]
-            out = device.send(ctx, runs[u].states[-1], round_index)
-            valid_ports = set(ctx.ports)
-            for label in out:
-                if label not in valid_ports:
-                    raise ExecutionError(
-                        f"device at {u!r} sent on unknown port {label!r}"
-                    )
-            for neighbor in graph.neighbors(u):
-                label = system.port(u, neighbor)
-                message = out.get(label)
-                if injector is not None:
-                    message = injector.deliver(
-                        (u, neighbor), round_index, message
-                    )
-                outboxes[(u, neighbor)] = message
-                edge_messages[(u, neighbor)].append(message)
-
-        # Phase 2: every node consumes its inbox and moves.
-        for u in graph.nodes:
-            device = system.device(u)
-            ctx = contexts[u]
-            inbox = {
-                system.port(u, neighbor): outboxes[(neighbor, u)]
-                for neighbor in graph.in_neighbors(u)
-            }
-            state = device.transition(
-                ctx, runs[u].states[-1], round_index, inbox
-            )
-            runs[u].states.append(state)
-            runs[u].observe_choice(device, ctx, round_index + 1, u)
-
-    node_behaviors = {
-        u: NodeBehavior(
-            states=tuple(r.states),
-            decision=r.decision,
-            decided_at=r.decided_at,
-        )
-        for u, r in runs.items()
-    }
-    edge_behaviors = {
-        edge: EdgeBehavior(tuple(msgs)) for edge, msgs in edge_messages.items()
-    }
-    return SyncBehavior(
-        graph=graph,
-        rounds=rounds,
-        node_behaviors=node_behaviors,
-        edge_behaviors=edge_behaviors,
-    )
+    return execute_plan(compile_sync_plan(system), rounds, injector)
 
 
 def check_determinism(system: SyncSystem, rounds: int) -> bool:
-    """Run the system twice and compare traces.
+    """Run the system twice — through one shared compiled plan — and
+    compare traces.
 
     A ``True`` result is necessary (not sufficient) evidence that the
     devices are pure, i.e. that the system has the single behavior the
-    paper's model demands.
+    paper's model demands.  Because both runs execute the *same*
+    :class:`~repro.runtime.plan.SyncPlan`, this doubles as the plan
+    layer's self-check: a plan that accumulated per-run state (or a
+    compilation step that consulted mutable device state) would make
+    the two executions diverge here.
     """
-    first = run(system, rounds)
-    second = run(system, rounds)
+    plan = compile_sync_plan(system)
+    first = execute_plan(plan, rounds)
+    second = execute_plan(plan, rounds)
     return (
         dict(first.node_behaviors) == dict(second.node_behaviors)
         and dict(first.edge_behaviors) == dict(second.edge_behaviors)

@@ -17,6 +17,13 @@ timed axioms hold by construction:
 Determinism: simultaneous events are ordered canonically (by target
 node, event kind, then port/timer identity), so a system has exactly
 one behavior — the model's standing assumption.
+
+Hot path: the event loop reads a compiled
+:class:`~repro.runtime.plan.TimedPlan` — contexts, clocks (and their
+inverses), port→neighbor and edge→receiver-port tables are resolved
+once per system instead of once per event.  Device *instances* remain
+per-run (factories are called inside ``execute``), so behaviors are
+unchanged.
 """
 
 from __future__ import annotations
@@ -28,8 +35,9 @@ from collections.abc import Hashable
 from dataclasses import dataclass, field
 from typing import Any
 
-from ...graphs.graph import DirectedEdge, NodeId
+from ...graphs.graph import DirectedEdge, GraphError, NodeId
 from ..faults import TimedFaultInjector
+from ..plan import compile_timed_plan
 from .adversary import TimedReplayDevice
 from .behavior import (
     TimedBehavior,
@@ -62,22 +70,23 @@ class _NodeRecord:
 
 class _Api(DeviceApi):
     """Device-facing API bound to one node; ``now`` is maintained by
-    the executor."""
+    the executor.  The node's clock (and its inverse) come from the
+    compiled plan, so neither is re-resolved per call."""
 
-    def __init__(self, executor: "_Run", node: NodeId) -> None:
+    def __init__(self, executor: "_Run", node: NodeId, compiled) -> None:
         self._executor = executor
         self._node = node
+        self._compiled = compiled
         self.now = 0.0
 
     def clock(self) -> float:
-        return self._executor.system.clock(self._node)(self.now)
+        return self._compiled.clock(self.now)
 
     def send(self, port: PortLabel, message: Message) -> None:
         self._executor.send_from(self._node, port, message, self.now)
 
     def set_timer(self, name: Hashable, clock_value: float) -> None:
-        clock = self._executor.system.clock(self._node)
-        real = clock.inverse()(clock_value)
+        real = self._compiled.clock_inverse(clock_value)
         if real <= self.now + 1e-15:
             raise TimedExecutionError(
                 f"timer {name!r} at node {self._node!r} set for clock value "
@@ -105,8 +114,10 @@ class _Run:
         self.system = system
         self.horizon = horizon
         self.injector = injector
+        self.plan = compile_timed_plan(system)
         graph = system.graph
-        self._node_rank = {u: i for i, u in enumerate(graph.nodes)}
+        by_node = self.plan.by_node
+        self._node_rank = {u: c.rank for u, c in by_node.items()}
         self._queue: list[tuple] = []
         self._seq = itertools.count()
         self.records: dict[NodeId, _NodeRecord] = {
@@ -116,7 +127,9 @@ class _Run:
             e: [] for e in graph.edges
         }
         self.devices: dict[NodeId, TimedDevice] = {}
-        self.apis: dict[NodeId, _Api] = {u: _Api(self, u) for u in graph.nodes}
+        self.apis: dict[NodeId, _Api] = {
+            u: _Api(self, u, by_node[u]) for u in graph.nodes
+        }
 
     # -- scheduling ------------------------------------------------------
 
@@ -132,13 +145,22 @@ class _Run:
         )
         heapq.heappush(self._queue, (key, node, kind, payload))
 
+    def _resolve_port(self, node: NodeId, port: PortLabel) -> NodeId:
+        try:
+            return self.plan.by_node[node].neighbor_of_port[port]
+        except KeyError:
+            raise GraphError(
+                f"node {node!r} has no port labeled {port!r}"
+            ) from None
+
     def send_from(
         self, node: NodeId, port: PortLabel, message: Message, now: float
     ) -> None:
-        neighbor = self.system.neighbor_of_port(node, port)
+        neighbor = self._resolve_port(node, port)
         if self.system.delay_mode == "clock":
-            clock = self.system.clock(node)
-            arrival = clock.inverse()(clock(now) + self.system.delay)
+            compiled = self.plan.by_node[node]
+            clock = compiled.clock
+            arrival = compiled.clock_inverse(clock(now) + self.system.delay)
         else:
             arrival = now + self.system.delay
         self._transmit(node, neighbor, port, message, now, arrival)
@@ -154,7 +176,7 @@ class _Run:
         """Replay a recorded send: the arrival time is part of the
         recorded edge behavior and is reproduced verbatim rather than
         recomputed from the (faulty) sender's clock."""
-        neighbor = self.system.neighbor_of_port(node, port)
+        neighbor = self._resolve_port(node, port)
         self._transmit(node, neighbor, port, message, now, arrival)
 
     def _transmit(
@@ -179,7 +201,7 @@ class _Run:
             if not delivered:
                 return
         self.edge_sends[(node, neighbor)].append((now, message, arrival))
-        receiver_port = self.system.port(neighbor, node)
+        receiver_port = self.plan.receiver_port[(node, neighbor)]
         self.schedule(arrival, neighbor, "deliver", (receiver_port, message))
 
     # -- recording ---------------------------------------------------------
@@ -216,6 +238,7 @@ class _Run:
     def execute(self) -> TimedBehavior:
         system = self.system
         graph = system.graph
+        by_node = self.plan.by_node
         for u in graph.nodes:
             factory = system.assignments[u].factory
             device = factory()
@@ -237,7 +260,7 @@ class _Run:
             api = self.apis[node]
             api.now = time
             device = self.devices[node]
-            ctx = system.context(node)
+            ctx = by_node[node].ctx
             if kind == "start":
                 self.records[node].events.append(TimedEvent(time, "start"))
                 device.on_start(ctx, api)

@@ -179,3 +179,89 @@ def averaging_device_families():
     return _st.tuples(
         _st.floats(0.0, 1.0), _st.floats(0.0, 1.0)
     ).map(build)
+
+
+# -- differential oracle for the compiled executor -------------------------
+
+
+def reference_sync_run(system, rounds, injector=None):
+    """The pre-compilation interpretive executor, kept verbatim as a
+    differential-testing oracle (and as the "before" leg of
+    ``scripts/bench_snapshot.py``).
+
+    Re-resolves devices, contexts and port labels through the system on
+    every round, exactly as ``repro.runtime.sync.executor.run`` did
+    before execution plans existed.  The golden-equivalence tests
+    assert that :func:`repro.runtime.sync.executor.run` (the plan-based
+    hot path) produces behaviors — and injection traces — equal to this
+    function's, for the same system, rounds and fault plan.
+    """
+    from .runtime.sync.behavior import EdgeBehavior, NodeBehavior, SyncBehavior
+    from .runtime.sync.executor import ExecutionError, _NodeRun
+
+    if rounds < 0:
+        raise ExecutionError("rounds must be non-negative")
+    graph = system.graph
+    contexts = {u: system.context(u) for u in graph.nodes}
+    runs = {}
+    for u in graph.nodes:
+        device = system.device(u)
+        state = device.init_state(contexts[u])
+        node_run = _NodeRun(states=[state])
+        runs[u] = node_run
+        node_run.observe_choice(device, contexts[u], 0, u)
+
+    edge_messages = {edge: [] for edge in graph.edges}
+
+    for round_index in range(rounds):
+        outboxes = {}
+        for u in graph.nodes:
+            device = system.device(u)
+            ctx = contexts[u]
+            out = device.send(ctx, runs[u].states[-1], round_index)
+            valid_ports = set(ctx.ports)
+            for label in out:
+                if label not in valid_ports:
+                    raise ExecutionError(
+                        f"device at {u!r} sent on unknown port {label!r}"
+                    )
+            for neighbor in graph.neighbors(u):
+                label = system.port(u, neighbor)
+                message = out.get(label)
+                if injector is not None:
+                    message = injector.deliver(
+                        (u, neighbor), round_index, message
+                    )
+                outboxes[(u, neighbor)] = message
+                edge_messages[(u, neighbor)].append(message)
+
+        for u in graph.nodes:
+            device = system.device(u)
+            ctx = contexts[u]
+            inbox = {
+                system.port(u, neighbor): outboxes[(neighbor, u)]
+                for neighbor in graph.in_neighbors(u)
+            }
+            state = device.transition(
+                ctx, runs[u].states[-1], round_index, inbox
+            )
+            runs[u].states.append(state)
+            runs[u].observe_choice(device, ctx, round_index + 1, u)
+
+    node_behaviors = {
+        u: NodeBehavior(
+            states=tuple(r.states),
+            decision=r.decision,
+            decided_at=r.decided_at,
+        )
+        for u, r in runs.items()
+    }
+    edge_behaviors = {
+        edge: EdgeBehavior(tuple(msgs)) for edge, msgs in edge_messages.items()
+    }
+    return SyncBehavior(
+        graph=graph,
+        rounds=rounds,
+        node_behaviors=node_behaviors,
+        edge_behaviors=edge_behaviors,
+    )

@@ -1,0 +1,128 @@
+"""Parallel drivers must be invisible: identical results at any jobs.
+
+Every parallel entry point (``run_campaign``, ``degradation_frontier``,
+the sweeps, and indexed ``search_agreement_attacks``) merges worker
+results deterministically, so ``jobs=N`` output is byte-identical to
+the serial scan.  These tests pin that contract, serializing results
+to sorted JSON where a serializer exists.
+"""
+
+import json
+
+from repro.analysis.adversary_search import search_agreement_attacks
+from repro.analysis.campaign import (
+    CampaignConfig,
+    degradation_frontier,
+    run_campaign,
+)
+from repro.analysis.parallel import (
+    ParallelRunner,
+    available_parallelism,
+    fork_available,
+)
+from repro.analysis.sweep import connectivity_sweep, node_bound_sweep
+from repro.analysis.witness_io import campaign_to_dict
+from repro.graphs.builders import complete_graph
+from repro.protocols.eig import eig_devices
+from repro.protocols.naive import MajorityVoteDevice
+
+
+def _naive_factory(graph):
+    return {u: MajorityVoteDevice() for u in graph.nodes}
+
+
+def _eig_factory(graph):
+    return dict(eig_devices(graph, 1))
+
+
+def _as_json(result):
+    return json.dumps(campaign_to_dict(result), sort_keys=True)
+
+
+class TestParallelRunner:
+    def test_serial_fallback_preserves_order(self):
+        runner = ParallelRunner(1)
+        assert not runner.parallel
+        assert runner.map(lambda x: x * x, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_map_preserves_order(self):
+        runner = ParallelRunner(2)
+        items = list(range(10))
+        assert runner.map(lambda x: x + 1, items) == [x + 1 for x in items]
+
+    def test_empty_and_singleton_inputs(self):
+        assert ParallelRunner(4).map(lambda x: x, []) == []
+        assert ParallelRunner(4).map(lambda x: -x, [7]) == [-7]
+
+    def test_available_parallelism_positive(self):
+        assert available_parallelism() >= 1
+        assert isinstance(fork_available(), bool)
+
+
+class TestCampaignParallelEquivalence:
+    def _config(self, factory, attempts, seed, links=2):
+        return CampaignConfig(
+            graph=complete_graph(4),
+            device_factory=factory,
+            rounds=3,
+            attempts=attempts,
+            seed=seed,
+            max_link_faults=links,
+        )
+
+    def test_breaking_campaign_identical_across_jobs(self):
+        config = self._config(_naive_factory, attempts=40, seed=11)
+        serial = run_campaign(config, jobs=1)
+        parallel = run_campaign(config, jobs=2)
+        assert serial.broken and parallel.broken
+        assert _as_json(serial) == _as_json(parallel)
+
+    def test_surviving_campaign_identical_across_jobs(self):
+        # EIG tolerates the sampled link faults at this tiny budget.
+        config = self._config(_eig_factory, attempts=6, seed=5, links=1)
+        serial = run_campaign(config, jobs=1)
+        parallel = run_campaign(config, jobs=2)
+        assert _as_json(serial) == _as_json(parallel)
+
+    def test_frontier_identical_across_jobs(self):
+        config = self._config(_naive_factory, attempts=12, seed=3)
+        serial = degradation_frontier(
+            config, max_link_faults=2, attempts_per_level=12
+        )
+        parallel = degradation_frontier(
+            config, max_link_faults=2, attempts_per_level=12, jobs=2
+        )
+        assert serial == parallel
+
+
+class TestSweepParallelEquivalence:
+    def test_node_bound_sweep(self):
+        assert node_bound_sweep((1,)) == node_bound_sweep((1,), jobs=2)
+
+    def test_connectivity_sweep(self):
+        assert connectivity_sweep() == connectivity_sweep(jobs=2)
+
+
+class TestAdversarySearchParallelEquivalence:
+    def test_indexed_results_identical_across_jobs(self):
+        g = complete_graph(4)
+        serial = search_agreement_attacks(
+            g, _naive_factory, 1, 3, attempts=30, seed=2, jobs=1
+        )
+        parallel = search_agreement_attacks(
+            g, _naive_factory, 1, 3, attempts=30, seed=2, jobs=2
+        )
+        assert serial == parallel
+        assert serial.broken  # majority vote falls quickly
+
+    def test_legacy_stream_untouched_by_default(self):
+        # jobs=None keeps the historical single-stream sampling; its
+        # draws differ from indexed mode but remain self-consistent.
+        g = complete_graph(4)
+        first = search_agreement_attacks(
+            g, _naive_factory, 1, 3, attempts=30, seed=2
+        )
+        second = search_agreement_attacks(
+            g, _naive_factory, 1, 3, attempts=30, seed=2
+        )
+        assert first == second
