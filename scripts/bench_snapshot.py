@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Snapshot the PR-2 performance layers into ``BENCH_runtime.json``.
+"""Snapshot the performance layers into ``BENCH_runtime.json``.
 
-Measures, on this machine, the three optimization layers against their
-"before" shapes — and, more importantly, re-verifies on every run that
+Measures, on this machine, each optimization layer against its
+"before" shape — and, more importantly, re-verifies on every run that
 each layer is output-invisible:
 
 * ``executor``      — compiled-plan ``run()`` vs the interpretive
@@ -11,11 +11,21 @@ each layer is output-invisible:
 * ``campaign_shrink`` — a shrink-heavy fault campaign, memoized
                       (shared :class:`BehaviorCache`, warm second run)
                       vs unmemoized, identical results required.
+* ``orbit_dedup``   — ``run_campaign(orbit_dedup=True)`` vs the plain
+                      scan on a symmetric graph: one execution per
+                      automorphism orbit, verdicts mapped back,
+                      byte-identical sorted-JSON reports required.
+* ``incremental_shrink`` — repeated campaign+shrink+replay passes with
+                      a shared prefix-sharing execution trie
+                      (``incremental=IncrementalContext()``) vs the
+                      same passes re-executing every round; identical
+                      reports required.
 * ``parallel``      — ``run_campaign(jobs=N)`` vs serial, byte-identical
                       sorted-JSON reports required.  Wall-clock scaling
                       is recorded honestly along with the machine's
                       core count: on a single-core box the pool cannot
-                      beat serial and the numbers will say so.
+                      beat serial and the numbers will say so (and
+                      ``ParallelRunner`` now refuses the pool there).
 
 Usage::
 
@@ -44,7 +54,9 @@ from repro.analysis.parallel import (  # noqa: E402
 )
 from repro.analysis.witness_io import campaign_to_dict  # noqa: E402
 from repro.graphs.builders import complete_graph  # noqa: E402
+from repro.protocols.eig import eig_devices  # noqa: E402
 from repro.protocols.naive import MajorityVoteDevice  # noqa: E402
+from repro.runtime.incremental import IncrementalContext  # noqa: E402
 from repro.runtime.memo import BehaviorCache  # noqa: E402
 from repro.runtime.plan import compile_sync_plan  # noqa: E402
 from repro.runtime.sync.executor import run  # noqa: E402
@@ -144,6 +156,120 @@ def bench_campaign_shrink(smoke):
     }
 
 
+def _eig_factory(graph):
+    return dict(eig_devices(graph, 1))
+
+
+def bench_orbit_dedup(smoke):
+    """Plain campaign scan vs. one-execution-per-orbit on K4.
+
+    The workload is a *surviving* EIG campaign with drop-only faults:
+    no early exit, so all attempts are scanned, and the sampled
+    scenario space (one dropped link on K4, binary inputs) has only a
+    few dozen automorphism orbits — attempts past the first few dozen
+    collapse onto already-executed representatives.
+    """
+    attempts = 60 if smoke else 600
+    config = CampaignConfig(
+        graph=complete_graph(4),
+        device_factory=_eig_factory,
+        rounds=2,
+        max_node_faults=0,
+        max_link_faults=1,
+        attempts=attempts,
+        seed=11,
+        link_kinds=("drop",),
+    )
+    repeats = 1 if smoke else 3
+
+    t_plain, plain = _time(
+        lambda: run_campaign(config, memoize=False), repeats
+    )
+
+    from repro.analysis.campaign import SearchStats
+
+    stats = SearchStats()
+
+    def deduped():
+        return run_campaign(
+            config, memoize=False, orbit_dedup=True, stats=stats
+        )
+
+    t_dedup, dedup = _time(deduped, repeats)
+    same = json.dumps(campaign_to_dict(plain), sort_keys=True) == json.dumps(
+        campaign_to_dict(dedup), sort_keys=True
+    )
+    return {
+        "workload": (
+            f"surviving EIG campaign on K4, {attempts} attempts, "
+            "k<=1 drop faults"
+        ),
+        "plain_s": t_plain,
+        "plain_ops": attempts / t_plain if t_plain else None,
+        "orbit_dedup_s": t_dedup,
+        "orbit_dedup_ops": attempts / t_dedup if t_dedup else None,
+        "speedup": t_plain / t_dedup if t_dedup else None,
+        "identical_output": same,
+        "orbits": stats.orbit_index.stats(),
+    }
+
+
+def bench_incremental_shrink(smoke):
+    """Repeated campaign+shrink+replay passes, trie-backed vs not.
+
+    Mirrors the ``campaign_shrink`` repetition shape (re-analysis of
+    one config re-executes heavily overlapping attempts) but measures
+    the round-level prefix trie instead of whole-run memoization:
+    ``memoize=False`` on both legs, so every saving comes from rounds
+    replayed out of snapshots.
+    """
+    n, rounds, links, attempts, passes = (
+        (4, 4, 3, 20, 2) if smoke else (8, 10, 8, 120, 6)
+    )
+    config = CampaignConfig(
+        graph=complete_graph(n),
+        device_factory=_naive_factory,
+        rounds=rounds,
+        max_node_faults=0,
+        max_link_faults=links,
+        attempts=attempts,
+        seed=5,
+    )
+    repeats = 1 if smoke else 3
+
+    def cold():
+        return [
+            run_campaign(config, memoize=False) for _ in range(passes)
+        ]
+
+    def warm():
+        context = IncrementalContext()
+        return (
+            [
+                run_campaign(config, memoize=False, incremental=context)
+                for _ in range(passes)
+            ],
+            context,
+        )
+
+    t_cold, cold_runs = _time(cold, repeats)
+    t_warm, (warm_runs, context) = _time(warm, repeats)
+    return {
+        "workload": (
+            f"{passes}x campaign+shrink+replay on K{n}, "
+            f"{attempts} attempts, k<={links} links, {rounds} rounds, "
+            "unmemoized both legs"
+        ),
+        "plain_s": t_cold,
+        "plain_ops": passes / t_cold if t_cold else None,
+        "incremental_s": t_warm,
+        "incremental_ops": passes / t_warm if t_warm else None,
+        "speedup": t_cold / t_warm if t_warm else None,
+        "identical_output": cold_runs == warm_runs,
+        "trie": context.stats(),
+    }
+
+
 def bench_sweep(smoke):
     from repro.analysis.sweep import node_bound_sweep
 
@@ -212,6 +338,8 @@ def main():
     sections = {
         "executor": bench_executor(args.smoke),
         "campaign_shrink": bench_campaign_shrink(args.smoke),
+        "orbit_dedup": bench_orbit_dedup(args.smoke),
+        "incremental_shrink": bench_incremental_shrink(args.smoke),
         "sweep": bench_sweep(args.smoke),
         "parallel": bench_parallel(args.smoke),
     }

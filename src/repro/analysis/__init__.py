@@ -24,6 +24,7 @@ from .campaign import (
     FRONTIER_HEADERS,
     FrontierRow,
     NodeFault,
+    SearchStats,
     degradation_frontier,
     replay_counterexample,
     run_campaign,
@@ -76,6 +77,7 @@ __all__ = [
     "RunMetrics",
     "ConvergenceCurve",
     "ReportLine",
+    "SearchStats",
     "measure_convergence",
     "theoretical_dlpsw_factor",
     "SearchResult",

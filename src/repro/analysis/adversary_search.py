@@ -22,6 +22,7 @@ from typing import Any
 
 from ..graphs.graph import CommunicationGraph, NodeId
 from ..problems.byzantine import ByzantineAgreementSpec
+from ..runtime.memo import BehaviorCache, fingerprint
 from ..problems.spec import SpecVerdict
 from ..runtime.sync.adversary import (
     CrashDevice,
@@ -71,6 +72,49 @@ STRATEGIES = ("silent", "liar", "crash", "replay", "two-faced")
 _STRATEGIES = STRATEGIES  # backwards-compatible alias
 
 
+def sample_adversary(
+    kind: str,
+    node: NodeId,
+    honest: SyncDevice,
+    graph: CommunicationGraph,
+    rounds: int,
+    rng: random.Random,
+    value_pool: Sequence[Any],
+) -> tuple[SyncDevice, tuple]:
+    """Build one faulty device of the named strategy ``kind``, drawing
+    any randomness from ``rng``, and return it together with the
+    canonical tuple of parameters drawn.  The parameter tuple fully
+    determines the device's behavior (the honest base device is fixed
+    per search), so it can key a behavior memo: two attempts that drew
+    the same strategies, parameters and inputs run identically."""
+    if kind == "silent":
+        return SilentDevice(), ()
+    if kind == "liar":
+        seed = rng.randrange(2**30)
+        return RandomLiarDevice(seed, value_pool), (seed,)
+    if kind == "crash":
+        crash_round = rng.randrange(rounds + 1)
+        return CrashDevice(honest, crash_round=crash_round), (crash_round,)
+    if kind == "replay":
+        scripts = {
+            neighbor: [rng.choice(value_pool) for _ in range(rounds)]
+            for neighbor in graph.neighbors(node)
+        }
+        params = tuple(
+            (repr(neighbor), tuple(script))
+            for neighbor, script in scripts.items()
+        )
+        return ReplayDevice(scripts), params
+    if kind == "two-faced":
+        neighbors = list(graph.neighbors(node))
+        rng.shuffle(neighbors)
+        half = neighbors[: max(1, len(neighbors) // 2)]
+        return TwoFacedDevice(honest, honest, half), tuple(
+            repr(u) for u in half
+        )
+    raise ValueError(kind)
+
+
 def build_adversary(
     kind: str,
     node: NodeId,
@@ -83,24 +127,10 @@ def build_adversary(
     """Build one faulty device of the named strategy ``kind``, drawing
     any randomness from ``rng`` (deterministic given the rng state).
     Shared with the campaign engine (:mod:`repro.analysis.campaign`)."""
-    if kind == "silent":
-        return SilentDevice()
-    if kind == "liar":
-        return RandomLiarDevice(rng.randrange(2**30), value_pool)
-    if kind == "crash":
-        return CrashDevice(honest, crash_round=rng.randrange(rounds + 1))
-    if kind == "replay":
-        scripts = {
-            neighbor: [rng.choice(value_pool) for _ in range(rounds)]
-            for neighbor in graph.neighbors(node)
-        }
-        return ReplayDevice(scripts)
-    if kind == "two-faced":
-        neighbors = list(graph.neighbors(node))
-        rng.shuffle(neighbors)
-        half = neighbors[: max(1, len(neighbors) // 2)]
-        return TwoFacedDevice(honest, honest, half)
-    raise ValueError(kind)
+    device, _ = sample_adversary(
+        kind, node, honest, graph, rounds, rng, value_pool
+    )
+    return device
 
 
 def _attack_attempt(
@@ -111,24 +141,45 @@ def _attack_attempt(
     value_pool: Sequence[Any],
     spec: ByzantineAgreementSpec,
     rng: random.Random,
+    cache: BehaviorCache | None = None,
 ) -> tuple[Mapping[NodeId, str], Mapping[NodeId, Any], Any]:
     """One attack attempt drawn from ``rng``; returns the strategy map,
-    the inputs, and the spec verdict."""
+    the inputs, and the spec verdict.
+
+    ``cache`` memoizes verdicts by attack content — the drawn
+    ``(node, strategy, parameters)`` triples plus the inputs.  Small
+    strategy spaces (silent / crash / two-faced on small graphs) repeat
+    often across attempts, so colliding attempts skip execution; the
+    result is unchanged because equal content means an identical run.
+    """
     nodes = list(graph.nodes)
     honest = dict(device_factory(graph))
     faulty_nodes = rng.sample(nodes, max_faults)
     strategies: dict[NodeId, str] = {}
     devices = dict(honest)
+    drawn: list[tuple[str, str, tuple]] = []
     for node in faulty_nodes:
         kind = rng.choice(STRATEGIES)
         strategies[node] = kind
-        devices[node] = build_adversary(
+        devices[node], params = sample_adversary(
             kind, node, honest[node], graph, rounds, rng, value_pool
         )
+        drawn.append((repr(node), kind, params))
     inputs = {u: rng.choice(value_pool) for u in nodes}
+    key = None
+    if cache is not None:
+        key = fingerprint(
+            "attack", rounds, tuple(sorted(drawn)),
+            tuple((repr(u), repr(v)) for u, v in inputs.items()),
+        )
+        verdict = cache.get(key)
+        if verdict is not None:
+            return (strategies, inputs, verdict)
     behavior = run(make_system(graph, devices, inputs), rounds)
     correct = [u for u in nodes if u not in strategies]
     verdict = spec.check(inputs, behavior.decisions(), correct)
+    if cache is not None and key is not None:
+        cache.put(key, verdict)
     return (strategies, inputs, verdict)
 
 
@@ -142,6 +193,7 @@ def search_agreement_attacks(
     value_pool: Sequence[Any] = (0, 1),
     spec: ByzantineAgreementSpec | None = None,
     jobs: int | None = None,
+    cache: BehaviorCache | None = None,
 ) -> SearchResult:
     """Randomly attack a Byzantine-agreement protocol.
 
@@ -156,6 +208,13 @@ def search_agreement_attacks(
     out across a process pool.  Indexed results are identical for
     every ``jobs`` value (``jobs=1`` runs the same samples serially);
     they just differ from the legacy stream's draws.
+
+    Pass a :class:`~repro.runtime.memo.BehaviorCache` as ``cache`` to
+    memoize verdicts by attack content (repeated silent / crash /
+    two-faced draws skip execution) and to read hit/miss counters
+    afterwards — this is what ``repro attack --cache-stats`` prints.
+    The counters only accumulate in-process: a forked pool's hits stay
+    in the workers.
     """
     spec = spec or ByzantineAgreementSpec()
     if jobs is None:
@@ -163,7 +222,7 @@ def search_agreement_attacks(
         for attempt in range(1, attempts + 1):
             strategies, inputs, verdict = _attack_attempt(
                 graph, device_factory, max_faults, rounds, value_pool, spec,
-                rng,
+                rng, cache,
             )
             if not verdict.ok:
                 return SearchResult(
@@ -183,7 +242,8 @@ def search_agreement_attacks(
     def probe(attempt: int):
         rng = random.Random(f"{seed}:attack:{attempt}")
         strategies, inputs, verdict = _attack_attempt(
-            graph, device_factory, max_faults, rounds, value_pool, spec, rng
+            graph, device_factory, max_faults, rounds, value_pool, spec, rng,
+            cache,
         )
         return (attempt, strategies, inputs, verdict)
 

@@ -24,6 +24,19 @@ configurations become cache hits — and :func:`run_campaign` /
 budget levels across a process pool with serial-identical results
 (attempts are merged in index order; the first violating index wins,
 exactly as in the serial scan).
+
+Performance (PR 3): two further equivalence-gated reductions.
+``orbit_dedup=True`` canonicalizes each sampled scenario under the
+graph's automorphism group (:mod:`repro.graphs.automorphisms`) and
+executes one representative per orbit, reusing only the spec's ok-bit
+for the rest — the violating attempt itself is always re-executed for
+shrinking, so results stay byte-identical.  (Requires a node-symmetric
+device factory: every node gets behaviorally identical, label-
+equivariant devices, as with the bundled majority/EIG factories.)
+``incremental=True`` routes executions through a prefix-sharing
+:class:`~repro.runtime.incremental.ExecutionTrie`, replaying shared
+round prefixes — the shrinker's one-atom-deleted candidates being the
+best case — from snapshots instead of re-running them.
 """
 
 from __future__ import annotations
@@ -33,6 +46,7 @@ from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..graphs.automorphisms import OrbitIndex
 from ..graphs.graph import CommunicationGraph, DirectedEdge, NodeId
 from ..problems.byzantine import ByzantineAgreementSpec
 from ..problems.spec import SpecVerdict, Violation
@@ -44,12 +58,14 @@ from ..runtime.faults import (
     SyncFaultInjector,
     partition_between,
 )
+from ..runtime.incremental import ExecutionTrie, IncrementalContext
 from ..runtime.memo import (
     BehaviorCache,
     fingerprint,
     graph_fingerprint,
     plan_fingerprint,
 )
+from ..runtime.plan import compile_sync_plan
 from ..runtime.sync.behavior import SyncBehavior
 from ..runtime.sync.device import SyncDevice
 from ..runtime.sync.executor import run
@@ -295,12 +311,50 @@ def _attempt_key(
     )
 
 
+def _context_key(
+    config: CampaignConfig,
+    inputs: Mapping[NodeId, Any],
+    node_faults: Sequence[NodeFault],
+) -> str:
+    """Content key of an *execution context* — everything but the fault
+    plan.  Attempts sharing a context run on one compiled system (and
+    one execution trie); plans are what vary underneath it."""
+    return fingerprint(
+        _config_token(config),
+        tuple(sorted((str(u), repr(v)) for u, v in inputs.items())),
+        tuple((str(nf.node), nf.kind, nf.key) for nf in node_faults),
+    )
+
+
+def _build_system(
+    config: CampaignConfig,
+    inputs: Mapping[NodeId, Any],
+    node_faults: Sequence[NodeFault],
+):
+    """The synchronous system for one attempt: factory devices with the
+    faulty nodes' devices swapped for rebuilt-bit-identical adversaries."""
+    graph = config.graph
+    devices = dict(config.device_factory(graph))
+    for nf in node_faults:
+        devices[nf.node] = build_adversary(
+            nf.kind,
+            nf.node,
+            devices[nf.node],
+            graph,
+            config.rounds,
+            random.Random(nf.key),
+            config.value_pool,
+        )
+    return make_system(graph, devices, dict(inputs))
+
+
 def execute_attempt(
     config: CampaignConfig,
     inputs: Mapping[NodeId, Any],
     node_faults: Sequence[NodeFault],
     plan: FaultPlan,
     cache: BehaviorCache | None = None,
+    incremental: IncrementalContext | None = None,
 ) -> tuple[SyncBehavior, SpecVerdict, InjectionTrace]:
     """Run one fully specified configuration and check the spec.
 
@@ -315,6 +369,13 @@ def execute_attempt(
     repeat execution (the shrinker and replayer produce many) returns
     the cached ``(behavior, verdict, trace)`` without re-running.
     Determinism makes this sound: equal content ⇒ equal results.
+
+    With an ``incremental`` context, cache misses execute through the
+    context's :class:`~repro.runtime.incremental.ExecutionTrie` for
+    this attempt's (config, inputs, node faults): rounds on which this
+    plan acts like an earlier plan are replayed from snapshots, and
+    only the divergent suffix actually runs.  The behavior, verdict
+    and trace are byte-identical to the plain path (golden-tested).
     """
     if cache is not None:
         key = _attempt_key(config, inputs, node_faults, plan)
@@ -322,33 +383,36 @@ def execute_attempt(
         if hit is not None:
             return hit
     graph = config.graph
-    devices = dict(config.device_factory(graph))
-    for nf in node_faults:
-        devices[nf.node] = build_adversary(
-            nf.kind,
-            nf.node,
-            devices[nf.node],
-            graph,
-            config.rounds,
-            random.Random(nf.key),
-            config.value_pool,
-        )
-    injector = SyncFaultInjector(plan)
-    system = make_system(graph, devices, dict(inputs))
     faulty_nodes = {nf.node for nf in node_faults}
     correct = [u for u in graph.nodes if u not in faulty_nodes]
+
+    if incremental is not None:
+        ctx_key = _context_key(config, inputs, node_faults)
+        trie = incremental.get(ctx_key)
+        if trie is None:
+            system = _build_system(config, inputs, node_faults)
+            trie = ExecutionTrie(compile_sync_plan(system))
+            incremental.put(ctx_key, trie)
+        staged = trie.prepare(plan, config.rounds)
+        try:
+            behavior = staged.execute()
+        except Exception as exc:  # devices choking on injected garbage
+            verdict = _execution_violation(exc, correct)
+            empty = SyncBehavior(graph=graph, rounds=0)
+            result = (empty, verdict, staged.trace)
+        else:
+            verdict = config.spec.check(inputs, behavior.decisions(), correct)
+            result = (behavior, verdict, staged.trace)
+        if cache is not None:
+            cache.put(key, result)
+        return result
+
+    injector = SyncFaultInjector(plan)
+    system = _build_system(config, inputs, node_faults)
     try:
         behavior = run(system, config.rounds, injector)
     except Exception as exc:  # devices choking on injected garbage
-        verdict = SpecVerdict(
-            (
-                Violation(
-                    "execution",
-                    f"run crashed under injected faults: {exc}",
-                    tuple(correct),
-                ),
-            )
-        )
+        verdict = _execution_violation(exc, correct)
         empty = SyncBehavior(graph=graph, rounds=0)
         result = (empty, verdict, injector.trace)
     else:
@@ -359,10 +423,23 @@ def execute_attempt(
     return result
 
 
+def _execution_violation(exc: Exception, correct: Sequence[NodeId]) -> SpecVerdict:
+    return SpecVerdict(
+        (
+            Violation(
+                "execution",
+                f"run crashed under injected faults: {exc}",
+                tuple(correct),
+            ),
+        )
+    )
+
+
 def replay_counterexample(
     config: CampaignConfig,
     counterexample: Counterexample,
     cache: BehaviorCache | None = None,
+    incremental: IncrementalContext | None = None,
 ) -> tuple[SyncBehavior, SpecVerdict, InjectionTrace]:
     """Re-run a counterexample exactly; deterministic by construction."""
     return execute_attempt(
@@ -371,6 +448,7 @@ def replay_counterexample(
         counterexample.node_faults,
         counterexample.plan,
         cache,
+        incremental,
     )
 
 
@@ -381,6 +459,7 @@ def shrink_counterexample(
     config: CampaignConfig,
     found: Counterexample,
     cache: BehaviorCache | None = None,
+    incremental: IncrementalContext | None = None,
 ) -> tuple[Counterexample, int]:
     """Greedy delta debugging: repeatedly delete one fault atom or one
     faulty node while the spec still breaks; stop at a local minimum.
@@ -389,7 +468,10 @@ def shrink_counterexample(
     deletions.  The result is *1-minimal*: removing any single
     remaining fault makes the violation disappear.  A ``cache`` makes
     the re-executed overlap between shrink iterations (and the final
-    replay) free.
+    replay) free; an ``incremental`` context makes even the *novel*
+    candidates cheap — deleting one atom leaves every round before the
+    atom's window byte-identical, so those rounds replay from the
+    execution trie's snapshots.
     """
     current = found
     steps = 0
@@ -400,7 +482,7 @@ def shrink_counterexample(
             candidate_plan = current.plan.without_atoms([i])
             _, verdict, _ = execute_attempt(
                 config, current.inputs, current.node_faults, candidate_plan,
-                cache,
+                cache, incremental,
             )
             if not verdict.ok:
                 current = Counterexample(
@@ -420,7 +502,8 @@ def shrink_counterexample(
                 current.node_faults[:i] + current.node_faults[i + 1 :]
             )
             _, verdict, _ = execute_attempt(
-                config, current.inputs, candidate_nodes, current.plan, cache
+                config, current.inputs, candidate_nodes, current.plan, cache,
+                incremental,
             )
             if not verdict.ok:
                 current = Counterexample(
@@ -437,6 +520,30 @@ def shrink_counterexample(
 
 
 # -- the campaign ----------------------------------------------------------
+
+
+@dataclass
+class SearchStats:
+    """Out-parameter collecting the optimization machinery a campaign
+    actually used, so callers (``repro campaign --cache-stats``) can
+    print hit/miss counters afterwards.  Deliberately **not** part of
+    :class:`CampaignResult`: results stay byte-identical with and
+    without the optimizations, counters don't.
+    """
+
+    cache: BehaviorCache | None = None
+    orbit_index: OrbitIndex | None = None
+    incremental: IncrementalContext | None = None
+
+    def describe(self) -> str:
+        lines = []
+        if self.cache is not None:
+            lines.append(self.cache.describe())
+        if self.orbit_index is not None:
+            lines.append(self.orbit_index.describe())
+        if self.incremental is not None:
+            lines.append(self.incremental.describe())
+        return "\n".join(lines) or "no caches in use"
 
 
 def _sample_attempt(
@@ -469,11 +576,21 @@ def _sample_attempt(
 
 
 def _finish_campaign(
-    config: CampaignConfig, attempt: int, cache: BehaviorCache | None
+    config: CampaignConfig,
+    attempt: int,
+    cache: BehaviorCache | None,
+    incremental: IncrementalContext | None = None,
 ) -> CampaignResult:
-    """Shrink and replay the violation at ``attempt`` (known to break)."""
+    """Shrink and replay the violation at ``attempt`` (known to break).
+
+    Always re-executes the real attempt — even when orbit dedup only
+    reused a verdict bit for it — so the found/shrunk counterexamples
+    and the trace come from an actual run of *this* configuration.
+    """
     node_faults, plan, inputs = _sample_attempt(config, attempt)
-    _, verdict, _ = execute_attempt(config, inputs, node_faults, plan, cache)
+    _, verdict, _ = execute_attempt(
+        config, inputs, node_faults, plan, cache, incremental
+    )
     found = Counterexample(
         inputs=inputs,
         node_faults=node_faults,
@@ -481,8 +598,8 @@ def _finish_campaign(
         verdict=verdict,
         attempt=attempt,
     )
-    shrunk, steps = shrink_counterexample(config, found, cache)
-    _, _, trace = replay_counterexample(config, shrunk, cache)
+    shrunk, steps = shrink_counterexample(config, found, cache, incremental)
+    _, _, trace = replay_counterexample(config, shrunk, cache, incremental)
     return CampaignResult(
         config=config,
         attempts=attempt,
@@ -498,6 +615,9 @@ def run_campaign(
     jobs: int = 1,
     cache: BehaviorCache | None = None,
     memoize: bool = True,
+    orbit_dedup: bool = False,
+    incremental: "IncrementalContext | bool | None" = None,
+    stats: SearchStats | None = None,
 ) -> CampaignResult:
     """Sample attempts under the combined budget until a spec violation
     appears (then shrink it) or the attempt budget is exhausted.
@@ -510,31 +630,74 @@ def run_campaign(
     :class:`~repro.runtime.memo.BehaviorCache` to read hit/miss
     statistics afterwards, or ``memoize=False`` to measure uncached
     cost.
+
+    ``orbit_dedup=True`` executes one representative scenario per
+    automorphism orbit and maps the spec's ok-bit back to the orbit's
+    other members (sound for node-symmetric device factories; see the
+    module docstring).  ``incremental`` (``True`` for a fresh context,
+    or a shared :class:`~repro.runtime.incremental.IncrementalContext`)
+    replays shared round prefixes from snapshots.  Neither changes the
+    result.  Pass a :class:`SearchStats` as ``stats`` to receive the
+    cache/orbit/trie objects for counter inspection afterwards.
     """
     if cache is None and memoize:
         cache = BehaviorCache()
+    if isinstance(incremental, bool):
+        incremental = IncrementalContext() if incremental else None
+    orbit_index = OrbitIndex(config.graph) if orbit_dedup else None
+    if stats is not None:
+        stats.cache = cache
+        stats.orbit_index = orbit_index
+        stats.incremental = incremental
     if jobs > 1:
-        return _run_campaign_parallel(config, jobs, cache)
+        return _run_campaign_parallel(
+            config, jobs, cache, orbit_index, incremental
+        )
+    orbit_ok: dict[str, bool] = {}
     for attempt in range(1, config.attempts + 1):
         node_faults, plan, inputs = _sample_attempt(config, attempt)
-        _, verdict, _ = execute_attempt(
-            config, inputs, node_faults, plan, cache
-        )
-        if not verdict.ok:
-            return _finish_campaign(config, attempt, cache)
+        if orbit_index is not None:
+            key = orbit_index.canonical_key(
+                inputs, node_faults, plan, config.value_pool
+            )
+            if orbit_index.record(key):
+                ok = orbit_ok[key]
+            else:
+                _, verdict, _ = execute_attempt(
+                    config, inputs, node_faults, plan, cache, incremental
+                )
+                ok = verdict.ok
+                orbit_ok[key] = ok
+        else:
+            _, verdict, _ = execute_attempt(
+                config, inputs, node_faults, plan, cache, incremental
+            )
+            ok = verdict.ok
+        if not ok:
+            return _finish_campaign(config, attempt, cache, incremental)
     return CampaignResult(
         config=config, attempts=config.attempts, found=None, shrunk=None
     )
 
 
 def _run_campaign_parallel(
-    config: CampaignConfig, jobs: int, cache: BehaviorCache | None
+    config: CampaignConfig,
+    jobs: int,
+    cache: BehaviorCache | None,
+    orbit_index: OrbitIndex | None = None,
+    incremental: IncrementalContext | None = None,
 ) -> CampaignResult:
     """Parallel attempt scan: batches of indices fan out to workers,
     which return only ``(attempt, spec ok)`` — small, picklable, and
     free of the config's (unpicklable) device factory, which the
     forked children inherit by memory instead.  Shrinking stays in the
-    parent, warmed by the parent-side cache."""
+    parent, warmed by the parent-side cache.
+
+    With orbit dedup, sampling and canonicalization happen in the
+    parent; only one representative per unseen orbit is dispatched to
+    the pool, and the ok-bits map back to every member in index order —
+    so the first violating index is the same one the serial scan finds.
+    """
 
     def probe(attempt: int) -> tuple[int, bool]:
         node_faults, plan, inputs = _sample_attempt(config, attempt)
@@ -544,19 +707,42 @@ def _run_campaign_parallel(
     runner = ParallelRunner(jobs)
     batch = max(4 * runner.jobs, 8)
     first_bad: int | None = None
+    orbit_ok: dict[str, bool] = {}
     for lo in range(1, config.attempts + 1, batch):
         hi = min(lo + batch, config.attempts + 1)
-        for attempt, ok in runner.map(probe, range(lo, hi)):
-            if not ok:
-                first_bad = attempt
-                break
+        indices = range(lo, hi)
+        if orbit_index is None:
+            for attempt, ok in runner.map(probe, indices):
+                if not ok:
+                    first_bad = attempt
+                    break
+        else:
+            keys: dict[int, str] = {}
+            representatives: list[int] = []
+            dispatched: set[str] = set()
+            for attempt in indices:
+                node_faults, plan, inputs = _sample_attempt(config, attempt)
+                key = orbit_index.canonical_key(
+                    inputs, node_faults, plan, config.value_pool
+                )
+                keys[attempt] = key
+                if key not in orbit_ok and key not in dispatched:
+                    representatives.append(attempt)
+                    dispatched.add(key)
+            for attempt, ok in runner.map(probe, representatives):
+                orbit_ok[keys[attempt]] = ok
+            for attempt in indices:
+                orbit_index.record(keys[attempt])
+                if not orbit_ok[keys[attempt]]:
+                    first_bad = attempt
+                    break
         if first_bad is not None:
             break
     if first_bad is None:
         return CampaignResult(
             config=config, attempts=config.attempts, found=None, shrunk=None
         )
-    return _finish_campaign(config, first_bad, cache)
+    return _finish_campaign(config, first_bad, cache, incremental)
 
 
 # -- graceful degradation --------------------------------------------------
@@ -606,6 +792,8 @@ def degradation_frontier(
     attempts_per_level: int | None = None,
     jobs: int = 1,
     cache: BehaviorCache | None = None,
+    orbit_dedup: bool = False,
+    incremental: "IncrementalContext | bool | None" = None,
 ) -> DegradationFrontier:
     """Sweep the link budget 0..max and report, per spec clause, the
     smallest budget at which a campaign finds a violation of it.
@@ -613,7 +801,9 @@ def degradation_frontier(
     Budget levels are independent campaigns, so ``jobs > 1`` evaluates
     them across a process pool; rows come back in budget order and the
     ``first_break`` fold runs over them exactly as the serial loop
-    did, so the frontier is identical either way.
+    did, so the frontier is identical either way.  ``orbit_dedup`` and
+    ``incremental`` are forwarded to every level's campaign (results
+    unchanged; see :func:`run_campaign`).
     """
     max_links = (
         config.max_link_faults if max_link_faults is None else max_link_faults
@@ -635,7 +825,12 @@ def degradation_frontier(
             link_kinds=config.link_kinds,
             spec=config.spec,
         )
-        result = run_campaign(level, cache=cache)
+        result = run_campaign(
+            level,
+            cache=cache,
+            orbit_dedup=orbit_dedup,
+            incremental=incremental,
+        )
         broken: tuple[str, ...] = ()
         if result.broken:
             assert result.shrunk is not None
@@ -725,6 +920,7 @@ __all__ = [
     "FRONTIER_HEADERS",
     "FrontierRow",
     "NodeFault",
+    "SearchStats",
     "counterexample_from_dict",
     "counterexample_to_dict",
     "degradation_frontier",

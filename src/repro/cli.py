@@ -228,10 +228,12 @@ def _campaign_factory(protocol: str, faults: int):
 
 def _cmd_attack(args) -> int:
     from .analysis.adversary_search import search_agreement_attacks
+    from .runtime.memo import BehaviorCache
 
     graph = parse_graph(args.graph)
     factory, default_rounds = _campaign_factory(args.protocol, args.faults)
     rounds = args.rounds if args.rounds is not None else default_rounds
+    cache = BehaviorCache() if args.cache_stats else None
     result = search_agreement_attacks(
         graph,
         factory,
@@ -240,14 +242,18 @@ def _cmd_attack(args) -> int:
         attempts=args.attempts,
         seed=args.seed,
         jobs=args.jobs,
+        cache=cache,
     )
     print(result.describe())
+    if cache is not None:
+        print(cache.describe())
     return 0
 
 
 def _cmd_campaign(args) -> int:
     from .analysis.campaign import (
         CampaignConfig,
+        SearchStats,
         counterexample_from_dict,
         degradation_frontier,
         replay_counterexample,
@@ -288,7 +294,14 @@ def _cmd_campaign(args) -> int:
     if args.frontier:
         from .analysis.campaign import FRONTIER_HEADERS
 
-        frontier = degradation_frontier(config, jobs=args.jobs)
+        frontier_cache = BehaviorCache() if args.cache_stats else None
+        frontier = degradation_frontier(
+            config,
+            jobs=args.jobs,
+            cache=frontier_cache,
+            orbit_dedup=args.orbit_dedup,
+            incremental=args.incremental,
+        )
         print(
             format_table(
                 FRONTIER_HEADERS,
@@ -298,12 +311,24 @@ def _cmd_campaign(args) -> int:
             )
         )
         print(frontier.describe())
+        if frontier_cache is not None:
+            print(frontier_cache.describe())
         return 0
 
     cache = BehaviorCache()
-    result = run_campaign(config, jobs=args.jobs, cache=cache)
+    stats = SearchStats()
+    result = run_campaign(
+        config,
+        jobs=args.jobs,
+        cache=cache,
+        orbit_dedup=args.orbit_dedup,
+        incremental=args.incremental,
+        stats=stats,
+    )
     print(result.describe())
-    if args.verbose:
+    if args.cache_stats:
+        print(stats.describe())
+    elif args.verbose:
         print(cache.describe())
     if result.broken and args.verbose and result.injection_trace:
         print("injection trace of the shrunk counterexample:")
@@ -394,6 +419,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel attack search with per-attempt seeding "
         "(same results for any N; omit for the legacy serial stream)",
     )
+    p.add_argument(
+        "--cache-stats", action="store_true",
+        help="memoize attack verdicts by content and print the cache's "
+        "hit/miss counters after the search",
+    )
     p.set_defaults(func=_cmd_attack)
 
     p = sub.add_parser(
@@ -419,6 +449,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="fan campaign attempts (or frontier levels) across N worker "
         "processes; reports are byte-identical to serial runs",
+    )
+    p.add_argument(
+        "--orbit-dedup", action="store_true",
+        help="execute one scenario per graph-automorphism orbit and map "
+        "verdicts back (results unchanged, fewer executions)",
+    )
+    p.add_argument(
+        "--incremental", action="store_true",
+        help="replay shared round prefixes from execution-trie snapshots "
+        "(results unchanged, repeated prefixes become lookups)",
+    )
+    p.add_argument(
+        "--cache-stats", action="store_true",
+        help="print behavior-cache, orbit-dedup and prefix-trie hit/miss "
+        "counters after the run",
     )
     p.add_argument(
         "--frontier", action="store_true",

@@ -1,4 +1,4 @@
-"""Node connectivity, from scratch.
+"""Node connectivity, from scratch — with cached flow analytics.
 
 The paper's bounds are stated in terms of the *connectivity* of the
 communication graph: the minimum number of nodes whose removal
@@ -8,14 +8,86 @@ vertex-disjoint ``s``–``t`` paths, found by unit-capacity max-flow on
 the split-node digraph.  Global connectivity uses Even's reduction,
 which needs only ``O(n)`` pairwise computations instead of all pairs.
 
+Every public function here is **memoized** at two levels: on the graph
+instance (graphs are immutable, so a flow result is valid forever) and
+in a small content-keyed global table, so sweep drivers that rebuild
+``complete_graph(n)`` fresh at every point still reuse the max-flow
+work of earlier points.  Mutable results (cut sets, path lists) are
+copied on every return, so callers can scribble on them without
+corrupting the cache.  :func:`analytics_stats` exposes hit/miss
+counters; :func:`clear_analytics` resets the global table (tests).
+
 Cross-checked against ``networkx.node_connectivity`` in the test suite.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
+from typing import Any, Callable
 
 from .graph import CommunicationGraph, GraphError, NodeId
+
+#: Content-keyed results shared across equal-but-distinct graph
+#: instances.  Bounded LRU; entries are tiny (ints, frozensets).
+_GLOBAL_ANALYTICS: OrderedDict[tuple, Any] = OrderedDict()
+_GLOBAL_ANALYTICS_MAX = 1024
+_STATS = {"hits": 0, "misses": 0}
+
+
+def _graph_content_key(graph: CommunicationGraph) -> tuple:
+    """A canonical, hashable key for the graph's shape (cached on the
+    instance — computing it is O(n + m), trivial next to a max-flow)."""
+    cache = graph.analytics_cache()
+    key = cache.get("content_key")
+    if key is None:
+        key = (
+            tuple(graph.nodes),
+            tuple(sorted(graph.edges, key=repr)),
+        )
+        cache["content_key"] = key
+    return key
+
+
+def _cached(
+    graph: CommunicationGraph, op: tuple, compute: Callable[[], Any]
+) -> Any:
+    """Two-level memo: per-instance dict first, then the global
+    content-keyed LRU, then compute."""
+    local = graph.analytics_cache()
+    if op in local:
+        _STATS["hits"] += 1
+        return local[op]
+    global_key = (_graph_content_key(graph), op)
+    if global_key in _GLOBAL_ANALYTICS:
+        _STATS["hits"] += 1
+        _GLOBAL_ANALYTICS.move_to_end(global_key)
+        value = _GLOBAL_ANALYTICS[global_key]
+        local[op] = value
+        return value
+    _STATS["misses"] += 1
+    value = compute()
+    local[op] = value
+    _GLOBAL_ANALYTICS[global_key] = value
+    while len(_GLOBAL_ANALYTICS) > _GLOBAL_ANALYTICS_MAX:
+        _GLOBAL_ANALYTICS.popitem(last=False)
+    return value
+
+
+def analytics_stats() -> dict[str, int]:
+    """Hit/miss counters of the connectivity analytics caches."""
+    return {
+        "hits": _STATS["hits"],
+        "misses": _STATS["misses"],
+        "global_entries": len(_GLOBAL_ANALYTICS),
+    }
+
+
+def clear_analytics() -> None:
+    """Drop the global table and reset counters (per-instance caches
+    die with their graphs)."""
+    _GLOBAL_ANALYTICS.clear()
+    _STATS["hits"] = 0
+    _STATS["misses"] = 0
 
 
 def min_vertex_cut(
@@ -30,9 +102,13 @@ def min_vertex_cut(
         raise GraphError("source and target must differ")
     if graph.has_edge(source, target):
         raise GraphError("no vertex cut separates adjacent nodes")
-    flow = _SplitNodeFlow(graph, source, target)
-    flow.run()
-    return flow.min_cut_nodes()
+
+    def compute() -> frozenset[NodeId]:
+        flow = _SplitNodeFlow(graph, source, target)
+        flow.run()
+        return frozenset(flow.min_cut_nodes())
+
+    return set(_cached(graph, ("min_vertex_cut", source, target), compute))
 
 
 def local_connectivity(
@@ -46,8 +122,11 @@ def local_connectivity(
         # the direct edge; by convention (and to match networkx) this is
         # unbounded for the cut formulation, so callers skip this case.
         raise GraphError("local connectivity of adjacent nodes is unbounded")
-    flow = _SplitNodeFlow(graph, source, target)
-    return flow.run()
+    return _cached(
+        graph,
+        ("local_connectivity", source, target),
+        lambda: _SplitNodeFlow(graph, source, target).run(),
+    )
 
 
 def node_connectivity(graph: CommunicationGraph) -> int:
@@ -62,6 +141,13 @@ def node_connectivity(graph: CommunicationGraph) -> int:
     n = len(graph)
     if n == 0:
         raise GraphError("connectivity of the empty graph is undefined")
+    return _cached(
+        graph, ("node_connectivity",), lambda: _node_connectivity(graph)
+    )
+
+
+def _node_connectivity(graph: CommunicationGraph) -> int:
+    n = len(graph)
     if n == 1:
         return 0
     if not graph.is_connected():
@@ -134,19 +220,26 @@ def vertex_disjoint_paths(
     """
     if source == target:
         raise GraphError("source and target must differ")
-    direct: list[list[NodeId]] = []
-    working = graph
-    if graph.has_edge(source, target):
-        direct.append([source, target])
-        keep = [
-            (u, v)
-            for (u, v) in graph.edges
-            if {u, v} != {source, target} and _ordered(graph, u, v)
-        ]
-        working = CommunicationGraph(graph.nodes, keep)
-    flow = _SplitNodeFlow(working, source, target)
-    flow.run()
-    return direct + flow.disjoint_paths()
+
+    def compute() -> tuple[tuple[NodeId, ...], ...]:
+        direct: list[list[NodeId]] = []
+        working = graph
+        if graph.has_edge(source, target):
+            direct.append([source, target])
+            keep = [
+                (u, v)
+                for (u, v) in graph.edges
+                if {u, v} != {source, target} and _ordered(graph, u, v)
+            ]
+            working = CommunicationGraph(graph.nodes, keep)
+        flow = _SplitNodeFlow(working, source, target)
+        flow.run()
+        return tuple(tuple(p) for p in direct + flow.disjoint_paths())
+
+    cached = _cached(
+        graph, ("vertex_disjoint_paths", source, target), compute
+    )
+    return [list(path) for path in cached]
 
 
 def _ordered(graph: CommunicationGraph, u: NodeId, v: NodeId) -> bool:

@@ -36,7 +36,7 @@ class CommunicationGraph:
         directed edges ``(u, v)`` and ``(v, u)``.
     """
 
-    __slots__ = ("_nodes", "_index", "_out", "_in", "_edges")
+    __slots__ = ("_nodes", "_index", "_out", "_in", "_edges", "_analytics")
 
     def __init__(
         self,
@@ -73,6 +73,10 @@ class CommunicationGraph:
         self._edges: frozenset[DirectedEdge] = frozenset(
             (u, v) for u in node_list for v in self._out[u]
         )
+        # Per-instance scratch space for derived analytics (connectivity,
+        # automorphisms, ...).  The graph itself is immutable, so anything
+        # computed from it may be cached here for the instance's lifetime.
+        self._analytics: dict = {}
 
     # -- basic accessors ------------------------------------------------
 
@@ -151,6 +155,17 @@ class CommunicationGraph:
     def _require(self, u: NodeId) -> None:
         if u not in self._index:
             raise GraphError(f"node {u!r} not in graph")
+
+    def analytics_cache(self) -> dict:
+        """Per-instance memo table for derived analytics.
+
+        Immutability makes this sound: everything computable from the
+        graph is fixed at construction, so modules like
+        :mod:`repro.graphs.connectivity` and
+        :mod:`repro.graphs.automorphisms` stash their (expensive)
+        results here, keyed by ``(operation, args)`` tuples.
+        """
+        return self._analytics
 
     # -- subgraphs and borders (paper Section 2) -------------------------
 

@@ -22,6 +22,11 @@
 :mod:`repro.runtime.memo`
     Bounded, content-addressed behavior memoization (determinism makes
     re-execution a cache lookup), with hit/miss counters.
+
+:mod:`repro.runtime.incremental`
+    Prefix-sharing incremental execution: a round-level trie of
+    execution deltas, so runs whose fault plans agree on a prefix of
+    rounds replay that prefix as a lookup instead of re-executing it.
 """
 
 from .faults import (
@@ -34,6 +39,11 @@ from .faults import (
     SyncFaultInjector,
     TimedFaultInjector,
     partition_between,
+)
+from .incremental import (
+    ExecutionTrie,
+    IncrementalContext,
+    plan_signatures,
 )
 from .memo import (
     BehaviorCache,
@@ -53,7 +63,9 @@ from .plan import (
 __all__ = [
     "FAULT_KINDS",
     "BehaviorCache",
+    "ExecutionTrie",
     "FaultPlan",
+    "IncrementalContext",
     "InjectionRecord",
     "InjectionTrace",
     "LinkFault",
@@ -70,4 +82,5 @@ __all__ = [
     "memoized_run",
     "partition_between",
     "plan_fingerprint",
+    "plan_signatures",
 ]

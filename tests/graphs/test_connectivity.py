@@ -118,6 +118,96 @@ class TestVertexDisjointPaths:
         assert len(paths) == 2
 
 
+class TestEdgeCases:
+    def test_single_node_graph_has_zero_connectivity(self):
+        g = CommunicationGraph(["only"], [])
+        assert node_connectivity(g) == 0
+
+    def test_empty_graph_rejected(self):
+        g = CommunicationGraph([], [])
+        with pytest.raises(GraphError):
+            node_connectivity(g)
+
+    def test_two_isolated_nodes(self):
+        g = CommunicationGraph(["a", "b"], [])
+        assert node_connectivity(g) == 0
+
+    def test_disconnected_pair_has_empty_cut(self):
+        g = CommunicationGraph(["a", "b", "c", "d"], [("a", "b"), ("c", "d")])
+        assert node_connectivity(g) == 0
+        assert min_vertex_cut(g, "a", "c") == set()
+        assert vertex_disjoint_paths(g, "a", "c") == []
+
+    def test_global_min_cut_of_disconnected_graph_is_empty(self):
+        g = CommunicationGraph(["a", "b", "c"], [("a", "b")])
+        assert global_min_cut(g) == set()
+
+    def test_local_connectivity_adjacent_pair_rejected(self):
+        g = triangle()
+        with pytest.raises(GraphError):
+            local_connectivity(g, "a", "b")
+
+    def test_local_connectivity_same_node_rejected(self):
+        with pytest.raises(GraphError):
+            local_connectivity(triangle(), "a", "a")
+
+    def test_local_connectivity_non_adjacent_pair(self):
+        g = ring(5)
+        assert local_connectivity(g, "r0", "r2") == 2
+
+
+class TestAnalyticsCache:
+    def setup_method(self):
+        from repro.graphs.connectivity import clear_analytics
+
+        clear_analytics()
+
+    def test_repeat_queries_hit_the_instance_cache(self):
+        from repro.graphs.connectivity import analytics_stats
+
+        g = wheel(6)
+        first = node_connectivity(g)
+        before = analytics_stats()
+        assert node_connectivity(g) == first
+        after = analytics_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_rebuilt_equal_graphs_hit_the_global_table(self):
+        from repro.graphs.connectivity import analytics_stats
+
+        assert node_connectivity(complete_graph(5)) == 4
+        before = analytics_stats()
+        # A fresh instance with identical content: the per-instance
+        # cache is cold but the content-keyed global table is warm.
+        assert node_connectivity(complete_graph(5)) == 4
+        after = analytics_stats()
+        assert after["hits"] > before["hits"]
+
+    def test_returned_cut_is_a_defensive_copy(self):
+        g = diamond()
+        cut = min_vertex_cut(g, "a", "c")
+        cut.add("XXX")
+        assert min_vertex_cut(g, "a", "c") == {"b", "d"}
+
+    def test_returned_paths_are_defensive_copies(self):
+        g = wheel(6)
+        paths = vertex_disjoint_paths(g, "w0", "w3")
+        paths[0].append("XXX")
+        paths.clear()
+        fresh = vertex_disjoint_paths(g, "w0", "w3")
+        assert len(fresh) == 3
+        assert all("XXX" not in p for p in fresh)
+
+    def test_clear_analytics_resets_counters(self):
+        from repro.graphs.connectivity import analytics_stats, clear_analytics
+
+        node_connectivity(ring(5))
+        clear_analytics()
+        s = analytics_stats()
+        assert s == {"hits": 0, "misses": 0, "global_entries": 0}
+
+
 class TestAgainstNetworkx:
     nx = pytest.importorskip("networkx")
 

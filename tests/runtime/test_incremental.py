@@ -1,0 +1,204 @@
+"""Prefix-sharing execution trie vs. the plain executor and the oracle.
+
+The contract is byte-identity: however many runs share a trie, each
+run's behavior and injection trace must equal the plain executor's and
+the interpretive oracle's (``reference_sync_run``) for the same fault
+plan.  Differential tests drive randomized fault plans through all
+three paths; structural tests pin the signature semantics and the
+replay counters.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.campaign import sample_fault_plan
+from repro.graphs.builders import complete_graph, ring
+from repro.protocols.naive import MajorityVoteDevice
+from repro.runtime.faults import FaultPlan, LinkFault, SyncFaultInjector
+from repro.runtime.incremental import (
+    ExecutionTrie,
+    IncrementalContext,
+    plan_signatures,
+)
+from repro.runtime.plan import compile_sync_plan
+from repro.runtime.sync.executor import ExecutionError, execute_plan
+from repro.runtime.sync.system import make_system
+from repro.testing import reference_sync_run
+
+
+def _system(graph, inputs=None):
+    devices = {u: MajorityVoteDevice() for u in graph.nodes}
+    inputs = inputs or {u: i % 2 for i, u in enumerate(graph.nodes)}
+    return make_system(graph, devices, inputs)
+
+
+def _drop(edge, start=0, end=1):
+    return LinkFault(edge=edge, kind="drop", start=start, end=end)
+
+
+class TestPlanSignatures:
+    def test_empty_plan_has_empty_round_signatures(self):
+        sigs = plan_signatures(FaultPlan(), 3)
+        assert sigs == (((), ()),) * 3
+
+    def test_signatures_localize_fault_windows(self):
+        plan = FaultPlan(link_faults=(_drop(("a", "b"), start=2, end=3),))
+        sigs = plan_signatures(plan, 4)
+        assert sigs[0] == sigs[1] == sigs[3] == ((), ())
+        assert sigs[2] != ((), ())
+
+    def test_plans_sharing_a_prefix_share_signatures(self):
+        early = FaultPlan(link_faults=(_drop(("a", "b"), start=0, end=1),))
+        late = FaultPlan(
+            link_faults=(
+                _drop(("a", "b"), start=0, end=1),
+                _drop(("b", "a"), start=3, end=4),
+            )
+        )
+        s_early = plan_signatures(early, 5)
+        s_late = plan_signatures(late, 5)
+        assert s_early[:3] == s_late[:3]
+        assert s_early[3] != s_late[3]
+
+    def test_same_edge_order_distinguishes_signatures(self):
+        corrupt = LinkFault(edge=("a", "b"), kind="corrupt", start=0, end=1)
+        drop = _drop(("a", "b"))
+        a = plan_signatures(FaultPlan(link_faults=(corrupt, drop)), 1)
+        b = plan_signatures(FaultPlan(link_faults=(drop, corrupt)), 1)
+        assert a != b
+
+    def test_cross_edge_order_is_canonicalized(self):
+        f1 = _drop(("a", "b"))
+        f2 = _drop(("b", "c"))
+        a = plan_signatures(FaultPlan(link_faults=(f1, f2)), 1)
+        b = plan_signatures(FaultPlan(link_faults=(f2, f1)), 1)
+        assert a == b
+
+
+class TestTrieEquivalence:
+    def _assert_equivalent(self, graph, plans, rounds):
+        """One shared trie vs. fresh plain executions, per plan."""
+        system = _system(graph)
+        compiled = compile_sync_plan(system)
+        trie = ExecutionTrie(compiled)
+        for fault_plan in plans:
+            behavior, trace = trie.execute(fault_plan, rounds)
+            plain_injector = SyncFaultInjector(fault_plan)
+            plain = execute_plan(compiled, rounds, plain_injector)
+            assert behavior == plain
+            assert trace == plain_injector.trace
+            oracle_injector = SyncFaultInjector(fault_plan)
+            oracle = reference_sync_run(system, rounds, oracle_injector)
+            assert behavior == oracle
+            assert trace == oracle_injector.trace
+
+    def test_fault_free_run_matches(self):
+        self._assert_equivalent(complete_graph(4), [FaultPlan()], 3)
+
+    def test_shared_prefix_runs_match(self):
+        plans = [
+            FaultPlan(),
+            FaultPlan(link_faults=(_drop(("n0", "n1"), start=2, end=3),)),
+            FaultPlan(link_faults=(_drop(("n0", "n1"), start=1, end=2),)),
+            FaultPlan(link_faults=(_drop(("n0", "n1"), start=2, end=3),)),
+        ]
+        self._assert_equivalent(complete_graph(4), plans, 4)
+
+    def test_delayed_messages_survive_snapshots(self):
+        # A delay fault holds messages in the injector's pending map;
+        # runs that branch *after* the delay fires must replay it.
+        delay = LinkFault(
+            edge=("n0", "n1"), kind="delay", start=0, end=1, delay=2
+        )
+        plans = [
+            FaultPlan(link_faults=(delay,)),
+            FaultPlan(
+                link_faults=(delay, _drop(("n2", "n3"), start=3, end=4))
+            ),
+        ]
+        self._assert_equivalent(complete_graph(4), plans, 5)
+
+    def test_randomized_plans_match(self):
+        graph = ring(5)
+        rng = random.Random(7)
+        plans = [
+            sample_fault_plan(graph, 5, 3, rng, seed=7)
+            for _ in range(12)
+        ]
+        self._assert_equivalent(graph, plans, 5)
+
+    def test_corrupt_faults_match(self):
+        graph = complete_graph(4)
+        rng = random.Random(1)
+        plans = [
+            sample_fault_plan(
+                graph, 4, 2, rng, kinds=("corrupt",), seed=1
+            )
+            for _ in range(6)
+        ]
+        self._assert_equivalent(graph, plans, 4)
+
+
+class TestTrieMechanics:
+    def test_counters_account_for_replay(self):
+        graph = complete_graph(4)
+        trie = ExecutionTrie(compile_sync_plan(_system(graph)))
+        trie.execute(FaultPlan(), 4)
+        assert trie.stats() == {
+            "runs": 1,
+            "rounds_replayed": 0,
+            "rounds_executed": 4,
+            "snapshots": 5,  # root + one per round
+        }
+        trie.execute(FaultPlan(), 4)
+        s = trie.stats()
+        assert s["runs"] == 2
+        assert s["rounds_replayed"] == 4
+        assert s["rounds_executed"] == 4
+        assert s["snapshots"] == 5
+
+    def test_divergent_suffix_executes_only_new_rounds(self):
+        graph = complete_graph(4)
+        trie = ExecutionTrie(compile_sync_plan(_system(graph)))
+        trie.execute(FaultPlan(), 4)
+        late = FaultPlan(link_faults=(_drop(("n0", "n1"), start=3, end=4),))
+        trie.execute(late, 4)
+        s = trie.stats()
+        assert s["rounds_replayed"] == 3
+        assert s["rounds_executed"] == 5
+
+    def test_zero_rounds(self):
+        graph = complete_graph(3)
+        trie = ExecutionTrie(compile_sync_plan(_system(graph)))
+        behavior, trace = trie.execute(FaultPlan(), 0)
+        assert behavior.rounds == 0
+        assert trace.records == []
+
+    def test_negative_rounds_rejected(self):
+        trie = ExecutionTrie(compile_sync_plan(_system(complete_graph(3))))
+        with pytest.raises(ExecutionError):
+            trie.prepare(FaultPlan(), -1)
+
+
+class TestIncrementalContext:
+    def test_get_put_roundtrip(self):
+        ctx = IncrementalContext()
+        trie = ExecutionTrie(compile_sync_plan(_system(complete_graph(3))))
+        assert ctx.get("k") is None
+        ctx.put("k", trie)
+        assert ctx.get("k") is trie
+
+    def test_eviction_folds_stats(self):
+        ctx = IncrementalContext(max_contexts=1)
+        g = complete_graph(3)
+        first = ExecutionTrie(compile_sync_plan(_system(g)))
+        first.execute(FaultPlan(), 2)
+        ctx.put("a", first)
+        ctx.put("b", ExecutionTrie(compile_sync_plan(_system(g))))
+        assert ctx.get("a") is None  # evicted
+        s = ctx.stats()
+        assert s["live_contexts"] == 1
+        assert s["contexts"] == 2
+        assert s["rounds_executed"] == 2  # survived the eviction
+        assert "incremental execution" in ctx.describe()
