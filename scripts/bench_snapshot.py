@@ -26,15 +26,28 @@ each layer is output-invisible:
                       core count: on a single-core box the pool cannot
                       beat serial and the numbers will say so (and
                       ``ParallelRunner`` now refuses the pool there).
+* ``telemetry_overhead`` — the instrumented hot path
+                      (``execute_plan``) with telemetry *disabled* vs
+                      ``repro.testing.bare_execute_plan``, the verbatim
+                      copy with the hooks stripped.  The disabled/bare
+                      wall-time ratio is a **hard gate**: above
+                      1.05 the script exits nonzero, same as an
+                      equivalence failure.  (An informational
+                      enabled-telemetry timing rides along.)
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_snapshot.py [--out BENCH_runtime.json]
     PYTHONPATH=src python scripts/bench_snapshot.py --smoke   # CI: tiny sizes
+    PYTHONPATH=src python scripts/bench_snapshot.py --sections executor,parallel
 
 ``--smoke`` shrinks every workload so the script finishes in seconds;
 equivalence checks still run at full strictness (that is the point of
 the CI job), only the timings become meaningless-but-present.
+
+``--sections`` re-measures only the named sections; the output file is
+merged, never clobbered — sections absent from this run (or written by
+an older script version) are preserved as-is.
 """
 
 import argparse
@@ -289,6 +302,65 @@ def bench_sweep(smoke):
     }
 
 
+#: Hard ceiling on the disabled-telemetry / bare hot-path ratio.
+TELEMETRY_OVERHEAD_BUDGET = 1.05
+
+
+def bench_telemetry_overhead(smoke):
+    """Disabled-telemetry ``execute_plan`` vs the bare oracle copy.
+
+    The two legs are timed *interleaved* (bare, disabled, bare, ...)
+    so clock drift and cache warming hit both equally; each leg keeps
+    its best-of.  The workload matches the ``executor`` section's.
+    """
+    from repro import obs
+    from repro.testing import bare_execute_plan
+
+    n, rounds, repeats = (4, 3, 60) if smoke else (8, 10, 120)
+    graph = complete_graph(n)
+    system = make_system(
+        graph,
+        _naive_factory(graph),
+        {u: i % 2 for i, u in enumerate(graph.nodes)},
+    )
+    plan = compile_sync_plan(system)
+    obs.reset()  # telemetry must be off for the gated leg
+
+    best_bare = best_disabled = float("inf")
+    b_bare = b_disabled = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        b_bare = bare_execute_plan(plan, rounds)
+        best_bare = min(best_bare, time.perf_counter() - start)
+        start = time.perf_counter()
+        b_disabled = run(system, rounds)
+        best_disabled = min(best_disabled, time.perf_counter() - start)
+
+    obs.enable()
+    try:
+        best_enabled = float("inf")
+        for _ in range(max(3, repeats // 10)):
+            start = time.perf_counter()
+            run(system, rounds)
+            best_enabled = min(best_enabled, time.perf_counter() - start)
+    finally:
+        obs.reset()
+
+    ratio = best_disabled / best_bare if best_bare else None
+    return {
+        "workload": f"K{n} majority, {rounds} rounds, compiled plan",
+        "bare_s": best_bare,
+        "disabled_s": best_disabled,
+        "enabled_s": best_enabled,
+        "disabled_over_bare": ratio,
+        "budget": TELEMETRY_OVERHEAD_BUDGET,
+        "within_budget": (
+            ratio is not None and ratio <= TELEMETRY_OVERHEAD_BUDGET
+        ),
+        "identical_output": b_bare == b_disabled,
+    }
+
+
 def bench_parallel(smoke):
     config = _campaign_config(smoke)
     repeats = 1 if smoke else 3
@@ -319,6 +391,17 @@ def bench_parallel(smoke):
     }
 
 
+BENCHES = {
+    "executor": bench_executor,
+    "campaign_shrink": bench_campaign_shrink,
+    "orbit_dedup": bench_orbit_dedup,
+    "incremental_shrink": bench_incremental_shrink,
+    "sweep": bench_sweep,
+    "parallel": bench_parallel,
+    "telemetry_overhead": bench_telemetry_overhead,
+}
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -333,23 +416,41 @@ def main():
         action="store_true",
         help="tiny workloads for CI; equivalence checks at full strength",
     )
+    parser.add_argument(
+        "--sections",
+        help="comma-separated subset of sections to re-measure "
+        f"(default: all of {', '.join(BENCHES)}); the output file is "
+        "merged, other sections survive untouched",
+    )
     args = parser.parse_args()
 
-    sections = {
-        "executor": bench_executor(args.smoke),
-        "campaign_shrink": bench_campaign_shrink(args.smoke),
-        "orbit_dedup": bench_orbit_dedup(args.smoke),
-        "incremental_shrink": bench_incremental_shrink(args.smoke),
-        "sweep": bench_sweep(args.smoke),
-        "parallel": bench_parallel(args.smoke),
-    }
-    snapshot = {
-        "python": sys.version.split()[0],
-        "cores": available_parallelism(),
-        "smoke": args.smoke,
-        "sections": sections,
-    }
-    pathlib.Path(args.out).write_text(
+    if args.sections:
+        names = [s for s in args.sections.split(",") if s]
+        unknown = [s for s in names if s not in BENCHES]
+        if unknown:
+            parser.error(f"unknown sections: {', '.join(unknown)}")
+    else:
+        names = list(BENCHES)
+
+    sections = {name: BENCHES[name](args.smoke) for name in names}
+
+    # Merge into the existing snapshot rather than clobbering it, so a
+    # --sections run (or a newer script against an older file) never
+    # drops sections it did not measure.
+    out_path = pathlib.Path(args.out)
+    snapshot = {"sections": {}}
+    if out_path.exists():
+        try:
+            prior = json.loads(out_path.read_text())
+            if isinstance(prior.get("sections"), dict):
+                snapshot["sections"].update(prior["sections"])
+        except (ValueError, OSError):
+            pass  # unreadable prior snapshot: start fresh
+    snapshot["sections"].update(sections)
+    snapshot["python"] = sys.version.split()[0]
+    snapshot["cores"] = available_parallelism()
+    snapshot["smoke"] = args.smoke
+    out_path.write_text(
         json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
     )
 
@@ -358,15 +459,29 @@ def main():
         for name, section in sections.items()
         if not section["identical_output"]
     ]
+    over_budget = [
+        name
+        for name, section in sections.items()
+        if not section.get("within_budget", True)
+    ]
     for name, section in sections.items():
         speed = section.get("speedup")
         extra = f", speedup {speed:.2f}x" if speed else ""
+        ratio = section.get("disabled_over_bare")
+        if ratio is not None:
+            extra += (
+                f", disabled/bare {ratio:.3f} "
+                f"(budget {section['budget']:.2f})"
+            )
         print(
             f"{name}: identical={section['identical_output']}{extra}"
         )
     print(f"wrote {args.out}")
     if failures:
         print(f"EQUIVALENCE FAILURES: {', '.join(failures)}")
+        return 1
+    if over_budget:
+        print(f"TELEMETRY OVERHEAD OVER BUDGET: {', '.join(over_budget)}")
         return 1
     return 0
 

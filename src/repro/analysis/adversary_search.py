@@ -20,6 +20,7 @@ from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from .. import obs
 from ..graphs.graph import CommunicationGraph, NodeId
 from ..problems.byzantine import ByzantineAgreementSpec
 from ..runtime.memo import BehaviorCache, fingerprint
@@ -172,6 +173,26 @@ def _attack_attempt(
             "attack", rounds, tuple(sorted(drawn)),
             tuple((repr(u), repr(v)) for u, v in inputs.items()),
         )
+        if obs.is_enabled():
+            # Telemetry-transparent memoization: a hit replays the
+            # run-scope events recorded when the entry was filled, so
+            # the trace is independent of cache warmth (hit/miss facts
+            # are host-scope).
+            okey = key + ":obs"
+            entry = cache.get(okey)
+            if entry is not None:
+                verdict, payload = entry
+                obs.emit(obs.CACHE_HIT, cache="attack", op="attempt")
+                obs.replay(payload)
+                return (strategies, inputs, verdict)
+            obs.emit(obs.CACHE_MISS, cache="attack", op="attempt")
+            with obs.capture() as capsule:
+                behavior = run(make_system(graph, devices, inputs), rounds)
+            obs.replay(capsule.payload())
+            correct = [u for u in nodes if u not in strategies]
+            verdict = spec.check(inputs, behavior.decisions(), correct)
+            cache.put(okey, (verdict, capsule.run_payload()))
+            return (strategies, inputs, verdict)
         verdict = cache.get(key)
         if verdict is not None:
             return (strategies, inputs, verdict)
@@ -220,10 +241,12 @@ def search_agreement_attacks(
     if jobs is None:
         rng = random.Random(seed)
         for attempt in range(1, attempts + 1):
+            obs.emit(obs.ATTEMPT_START, attempt=attempt)
             strategies, inputs, verdict = _attack_attempt(
                 graph, device_factory, max_faults, rounds, value_pool, spec,
                 rng, cache,
             )
+            obs.emit(obs.ATTEMPT_END, attempt=attempt, ok=verdict.ok)
             if not verdict.ok:
                 return SearchResult(
                     attempts=attempt,
@@ -251,9 +274,14 @@ def search_agreement_attacks(
     batch = max(4 * runner.jobs, 8)
     for lo in range(1, attempts + 1, batch):
         hi = min(lo + batch, attempts + 1)
-        for attempt, strategies, inputs, verdict in runner.map(
-            probe, range(lo, hi)
+        # Captured merge: replay worker telemetry in index order and
+        # stop at the first violation, exactly like a serial scan.
+        for (attempt, strategies, inputs, verdict), payload in (
+            runner.map_captured(probe, range(lo, hi))
         ):
+            obs.emit(obs.ATTEMPT_START, attempt=attempt)
+            obs.replay(payload)
+            obs.emit(obs.ATTEMPT_END, attempt=attempt, ok=verdict.ok)
             if not verdict.ok:
                 return SearchResult(
                     attempts=attempt,

@@ -44,8 +44,10 @@ from __future__ import annotations
 import random
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any
 
+from .. import obs
 from ..graphs.automorphisms import OrbitIndex
 from ..graphs.graph import CommunicationGraph, DirectedEdge, NodeId
 from ..problems.byzantine import ByzantineAgreementSpec
@@ -379,9 +381,47 @@ def execute_attempt(
     """
     if cache is not None:
         key = _attempt_key(config, inputs, node_faults, plan)
+        if obs.is_enabled():
+            # Telemetry-transparent caching (same scheme as
+            # memoized_run): traced entries carry the run-scope events
+            # of the original execution, replayed on every hit, so the
+            # trace never depends on cache warmth.  The hit/miss facts
+            # are host-scope.
+            okey = key + ":obs"
+            entry = cache.get(okey)
+            if entry is not None:
+                result, payload = entry
+                obs.emit(obs.CACHE_HIT, cache="attempt", op="execute")
+                obs.replay(payload)
+                return result
+            obs.emit(obs.CACHE_MISS, cache="attempt", op="execute")
+            with obs.capture() as capsule:
+                result = _execute_attempt_uncached(
+                    config, inputs, node_faults, plan, incremental
+                )
+            obs.replay(capsule.payload())
+            cache.put(okey, (result, capsule.run_payload()))
+            return result
         hit = cache.get(key)
         if hit is not None:
             return hit
+        result = _execute_attempt_uncached(
+            config, inputs, node_faults, plan, incremental
+        )
+        cache.put(key, result)
+        return result
+    return _execute_attempt_uncached(
+        config, inputs, node_faults, plan, incremental
+    )
+
+
+def _execute_attempt_uncached(
+    config: CampaignConfig,
+    inputs: Mapping[NodeId, Any],
+    node_faults: Sequence[NodeFault],
+    plan: FaultPlan,
+    incremental: IncrementalContext | None = None,
+) -> tuple[SyncBehavior, SpecVerdict, InjectionTrace]:
     graph = config.graph
     faulty_nodes = {nf.node for nf in node_faults}
     correct = [u for u in graph.nodes if u not in faulty_nodes]
@@ -403,8 +443,6 @@ def execute_attempt(
         else:
             verdict = config.spec.check(inputs, behavior.decisions(), correct)
             result = (behavior, verdict, staged.trace)
-        if cache is not None:
-            cache.put(key, result)
         return result
 
     injector = SyncFaultInjector(plan)
@@ -418,8 +456,6 @@ def execute_attempt(
     else:
         verdict = config.spec.check(inputs, behavior.decisions(), correct)
         result = (behavior, verdict, injector.trace)
-    if cache is not None:
-        cache.put(key, result)
     return result
 
 
@@ -473,6 +509,7 @@ def shrink_counterexample(
     atom's window byte-identical, so those rounds replay from the
     execution trie's snapshots.
     """
+    shrink_t0 = perf_counter()
     current = found
     steps = 0
     progress = True
@@ -494,6 +531,13 @@ def shrink_counterexample(
                 )
                 steps += 1
                 progress = True
+                obs.emit(
+                    obs.SHRINK_STEP,
+                    attempt=current.attempt,
+                    deleted="atom",
+                    atoms=current.plan.size,
+                    nodes=len(current.node_faults),
+                )
                 break
         if progress:
             continue
@@ -515,7 +559,15 @@ def shrink_counterexample(
                 )
                 steps += 1
                 progress = True
+                obs.emit(
+                    obs.SHRINK_STEP,
+                    attempt=current.attempt,
+                    deleted="node",
+                    atoms=current.plan.size,
+                    nodes=len(current.node_faults),
+                )
                 break
+    obs.observe_span("campaign.shrink", perf_counter() - shrink_t0)
     return (current, steps)
 
 
@@ -536,14 +588,19 @@ class SearchStats:
     incremental: IncrementalContext | None = None
 
     def describe(self) -> str:
-        lines = []
-        if self.cache is not None:
-            lines.append(self.cache.describe())
-        if self.orbit_index is not None:
-            lines.append(self.orbit_index.describe())
-        if self.incremental is not None:
-            lines.append(self.incremental.describe())
-        return "\n".join(lines) or "no caches in use"
+        """Render the ``--cache-stats`` block.
+
+        Since the observability subsystem landed, the counters are
+        folded into a :class:`~repro.obs.MetricsRegistry` (the live
+        one when telemetry is on, a throwaway otherwise) and rendered
+        from its gauges — same strings as before, one source of truth.
+        """
+        from ..obs import MetricsRegistry, describe_search_stats, get_registry
+
+        registry = get_registry()
+        if registry is None:
+            registry = MetricsRegistry()
+        return describe_search_stats(registry, self)
 
 
 def _sample_attempt(
@@ -654,7 +711,11 @@ def run_campaign(
             config, jobs, cache, orbit_index, incremental
         )
     orbit_ok: dict[str, bool] = {}
+    obs_on = obs.is_enabled()
     for attempt in range(1, config.attempts + 1):
+        if obs_on:
+            attempt_t0 = perf_counter()
+            obs.emit(obs.ATTEMPT_START, attempt=attempt)
         node_faults, plan, inputs = _sample_attempt(config, attempt)
         if orbit_index is not None:
             key = orbit_index.canonical_key(
@@ -662,6 +723,7 @@ def run_campaign(
             )
             if orbit_index.record(key):
                 ok = orbit_ok[key]
+                obs.emit(obs.ORBIT_REUSE, attempt=attempt)
             else:
                 _, verdict, _ = execute_attempt(
                     config, inputs, node_faults, plan, cache, incremental
@@ -673,6 +735,9 @@ def run_campaign(
                 config, inputs, node_faults, plan, cache, incremental
             )
             ok = verdict.ok
+        if obs_on:
+            obs.emit(obs.ATTEMPT_END, attempt=attempt, ok=ok)
+            obs.observe_span("campaign.attempt", perf_counter() - attempt_t0)
         if not ok:
             return _finish_campaign(config, attempt, cache, incremental)
     return CampaignResult(
@@ -712,7 +777,17 @@ def _run_campaign_parallel(
         hi = min(lo + batch, config.attempts + 1)
         indices = range(lo, hi)
         if orbit_index is None:
-            for attempt, ok in runner.map(probe, indices):
+            # Workers capture each attempt's telemetry; the parent
+            # replays the payloads in index order, brackets them with
+            # the attempt events, and — like the serial scan — stops
+            # consuming at the first violation, discarding any events
+            # from attempts the serial run would never have executed.
+            for (attempt, ok), payload in runner.map_captured(
+                probe, indices
+            ):
+                obs.emit(obs.ATTEMPT_START, attempt=attempt)
+                obs.replay(payload)
+                obs.emit(obs.ATTEMPT_END, attempt=attempt, ok=ok)
                 if not ok:
                     first_bad = attempt
                     break
@@ -729,11 +804,22 @@ def _run_campaign_parallel(
                 if key not in orbit_ok and key not in dispatched:
                     representatives.append(attempt)
                     dispatched.add(key)
-            for attempt, ok in runner.map(probe, representatives):
+            rep_payloads: dict[int, tuple] = {}
+            for (attempt, ok), payload in runner.map_captured(
+                probe, representatives
+            ):
                 orbit_ok[keys[attempt]] = ok
+                rep_payloads[attempt] = payload
             for attempt in indices:
+                obs.emit(obs.ATTEMPT_START, attempt=attempt)
                 orbit_index.record(keys[attempt])
-                if not orbit_ok[keys[attempt]]:
+                if attempt in rep_payloads:
+                    obs.replay(rep_payloads[attempt])
+                else:
+                    obs.emit(obs.ORBIT_REUSE, attempt=attempt)
+                ok = orbit_ok[keys[attempt]]
+                obs.emit(obs.ATTEMPT_END, attempt=attempt, ok=ok)
+                if not ok:
                     first_bad = attempt
                     break
         if first_bad is not None:
@@ -813,6 +899,7 @@ def degradation_frontier(
     )
 
     def level_row(budget: int) -> FrontierRow:
+        probe_t0 = perf_counter()
         level = CampaignConfig(
             graph=config.graph,
             device_factory=config.device_factory,
@@ -839,6 +926,13 @@ def degradation_frontier(
                     v.condition for v in result.shrunk.verdict.violations
                 )
             )
+        obs.emit(
+            obs.FRONTIER_LEVEL,
+            budget=budget,
+            attempts=attempts,
+            broken=", ".join(broken) or "-",
+        )
+        obs.observe_span("frontier.probe", perf_counter() - probe_t0)
         return FrontierRow(
             link_budget=budget,
             attempts=attempts,

@@ -37,6 +37,8 @@ import os
 from collections.abc import Callable, Iterable, Sequence
 from typing import Any, TypeVar
 
+from .. import obs
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -51,6 +53,20 @@ def _call(item: Any) -> Any:
     """Module-level trampoline (picklable by name) around :data:`_WORK`."""
     assert _WORK is not None, "worker forked before _WORK was set"
     return _WORK(item)
+
+
+def _call_captured(item: Any) -> tuple[Any, tuple]:
+    """Trampoline that also captures the item's telemetry.
+
+    Forked workers inherit the parent's enabled telemetry; the capture
+    sink redirects the item's events into a picklable capsule that
+    rides back over the result pipe alongside the result, so the
+    parent can replay them in item order.
+    """
+    assert _WORK is not None, "worker forked before _WORK was set"
+    with obs.capture() as capsule:
+        result = _WORK(item)
+    return result, capsule.payload()
 
 
 def fork_available() -> bool:
@@ -109,18 +125,67 @@ class ParallelRunner:
         work: Sequence[T] = list(items)
         if not self.parallel or len(work) <= 1:
             return [fn(item) for item in work]
+        if obs.is_enabled():
+            # Replay each worker's captured events in item order — the
+            # merged stream is byte-identical to the serial run's.
+            captured = self._pool_map(_call_captured, fn, work)
+            results = []
+            for result, payload in captured:
+                obs.replay(payload)
+                results.append(result)
+            return results
+        return self._pool_map(_call, fn, work)
+
+    def map_captured(
+        self, fn: Callable[[T], R], items: Iterable[T]
+    ) -> list[tuple[R, tuple]]:
+        """Like :meth:`map`, but return ``(result, telemetry payload)``
+        pairs *without* replaying the payloads.
+
+        For callers whose serial semantics stop consuming results early
+        (first-violation reductions): they replay payloads themselves,
+        in item order, exactly as far as the serial run would have
+        executed.  Payloads are empty when telemetry is disabled.
+        """
+        work: Sequence[T] = list(items)
+        if not self.parallel or len(work) <= 1:
+            out: list[tuple[R, tuple]] = []
+            for item in work:
+                with obs.capture() as capsule:
+                    result = fn(item)
+                out.append((result, capsule.payload()))
+            return out
+        return self._pool_map(_call_captured, fn, work)
+
+    def _pool_map(
+        self,
+        trampoline: Callable[[Any], Any],
+        fn: Callable[[T], Any],
+        work: Sequence[T],
+    ) -> list[Any]:
         global _WORK
         previous = _WORK
         _WORK = fn
+        processes = min(self.jobs, len(work))
         try:
             ctx = multiprocessing.get_context("fork")
-            with ctx.Pool(processes=min(self.jobs, len(work))) as pool:
-                return pool.map(_call, work)
+            with ctx.Pool(processes=processes) as pool:
+                obs.emit(obs.WORKER_POOL, processes=processes, items=len(work))
+                results = pool.map(trampoline, work)
+                obs.emit(obs.WORKER_MERGE, items=len(results))
+                return results
         except (OSError, ValueError) as exc:  # pool could not be built
             logger.info(
                 "ParallelRunner falling back to serial: pool failed (%s)",
                 exc,
             )
+            if trampoline is _call_captured:
+                out = []
+                for item in work:
+                    with obs.capture() as capsule:
+                        result = fn(item)
+                    out.append((result, capsule.payload()))
+                return out
             return [fn(item) for item in work]
         finally:
             _WORK = previous

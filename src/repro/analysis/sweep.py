@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from .. import obs
 from .parallel import ParallelRunner
 
 from ..core.byzantine import refute_connectivity, refute_node_bound
@@ -121,8 +122,11 @@ def _node_bound_point(point: tuple[int, int]) -> SweepRow:
     f, n = point
     graph = complete_graph(n)
     if n <= 3 * f:
-        return _run_engine_point(graph, f, by="nodes")
-    return _run_protocol_point(graph, f)
+        row = _run_engine_point(graph, f, by="nodes")
+    else:
+        row = _run_protocol_point(graph, f)
+    _emit_sweep_point("node-bound", row)
+    return row
 
 
 def node_bound_sweep(
@@ -143,10 +147,25 @@ def _connectivity_point(point: tuple[tuple[int, ...], int, int]) -> SweepRow:
     graph = circulant(n_nodes, list(offsets))
     kappa = node_connectivity(graph)
     if kappa < 2 * max_faults + 1:
-        return _run_engine_point(graph, max_faults, by="connectivity")
-    # Adequate by connectivity; for a full protocol run we also
-    # need n >= 3f+1, which holds here.
-    return _relay_point(graph, max_faults)
+        row = _run_engine_point(graph, max_faults, by="connectivity")
+    else:
+        # Adequate by connectivity; for a full protocol run we also
+        # need n >= 3f+1, which holds here.
+        row = _relay_point(graph, max_faults)
+    _emit_sweep_point("connectivity", row)
+    return row
+
+
+def _emit_sweep_point(sweep: str, row: SweepRow) -> None:
+    obs.emit(
+        obs.SWEEP_POINT,
+        sweep=sweep,
+        n=row.n_nodes,
+        connectivity=row.connectivity,
+        f=row.max_faults,
+        adequate=row.adequate,
+        outcome=row.outcome,
+    )
 
 
 def connectivity_sweep(

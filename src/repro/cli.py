@@ -21,6 +21,9 @@ Examples
     python -m repro --seed 7 campaign --protocol naive --frontier
     python -m repro campaign --protocol naive --graph complete:4 --jobs 4
     python -m repro sweep nodes --faults 1 2 --jobs 4
+    python -m repro campaign --protocol naive --trace out.jsonl --metrics
+    python -m repro profile summary out.jsonl
+    python -m repro profile events out.jsonl --kind round_end
 
 Graph specs: ``triangle``, ``diamond``, ``complete:N``, ``ring:N``,
 ``wheel:N``, ``star:N``, ``circulant:N:o1,o2,...``.
@@ -30,6 +33,11 @@ search — adversary attacks and fault campaigns alike — so any run is
 reproducible from the command line.  ``--jobs N`` on ``campaign`` /
 ``sweep`` / ``attack`` fans the independent work units across worker
 processes; results (and ``--json`` files) are identical to serial runs.
+
+Observability: ``--trace FILE`` on ``attack`` / ``campaign`` / ``sweep``
+records a JSONL telemetry trace of the run (byte-identical for any
+``--jobs`` value), ``--metrics`` prints the run summary, and ``repro
+profile {summary,events,metrics} FILE`` inspects a recorded trace.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from . import obs
 from .analysis import SWEEP_HEADERS, connectivity_sweep, format_table, node_bound_sweep
 from .core import (
     SynchronizationSetting,
@@ -246,7 +255,9 @@ def _cmd_attack(args) -> int:
     )
     print(result.describe())
     if cache is not None:
-        print(cache.describe())
+        registry = obs.get_registry() or obs.MetricsRegistry()
+        obs.absorb_cache_stats(registry, cache.stats())
+        print(obs.describe_cache(registry))
     return 0
 
 
@@ -312,7 +323,9 @@ def _cmd_campaign(args) -> int:
         )
         print(frontier.describe())
         if frontier_cache is not None:
-            print(frontier_cache.describe())
+            registry = obs.get_registry() or obs.MetricsRegistry()
+            obs.absorb_cache_stats(registry, frontier_cache.stats())
+            print(obs.describe_cache(registry))
         return 0
 
     cache = BehaviorCache()
@@ -325,6 +338,9 @@ def _cmd_campaign(args) -> int:
         incremental=args.incremental,
         stats=stats,
     )
+    registry = obs.get_registry()
+    if registry is not None:
+        obs.absorb_search_stats(registry, stats)
     print(result.describe())
     if args.cache_stats:
         print(stats.describe())
@@ -339,6 +355,42 @@ def _cmd_campaign(args) -> int:
         path = save_campaign(result, args.json)
         print(f"campaign written to {path}")
     return 0
+
+
+def _cmd_profile(args) -> int:
+    if args.view == "summary":
+        print(obs.summarize_trace(args.trace_file))
+    elif args.view == "events":
+        print(
+            obs.format_events(
+                args.trace_file,
+                kind=args.kind,
+                limit=args.limit,
+                offset=args.offset,
+            )
+        )
+    else:
+        print(obs.format_metrics(args.trace_file))
+    return 0
+
+
+def _telemetry_requested(args) -> bool:
+    """Did the parsed command ask for --trace or --metrics?"""
+    return bool(getattr(args, "trace", None)) or bool(
+        getattr(args, "metrics", False)
+    )
+
+
+def _finish_telemetry(args) -> None:
+    """Flush the artifacts a ``--trace``/``--metrics`` run asked for."""
+    registry = obs.get_registry()
+    if registry is not None:
+        obs.absorb_connectivity_stats(registry)
+    if getattr(args, "trace", None):
+        events = obs.write_trace(args.trace)
+        print(f"trace written to {args.trace} ({events} events)")
+    if getattr(args, "metrics", False):
+        print(obs.render_live_summary())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -393,6 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan sweep points across N worker processes "
         "(output identical to serial)",
     )
+    _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -422,8 +475,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cache-stats", action="store_true",
         help="memoize attack verdicts by content and print the cache's "
-        "hit/miss counters after the search",
+        "hit/miss counters after the search (deprecated: the counters "
+        "now come from the metrics registry; prefer --metrics)",
     )
+    _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_attack)
 
     p = sub.add_parser(
@@ -463,7 +518,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cache-stats", action="store_true",
         help="print behavior-cache, orbit-dedup and prefix-trie hit/miss "
-        "counters after the run",
+        "counters after the run (deprecated: the counters now come from "
+        "the metrics registry; prefer --metrics)",
     )
     p.add_argument(
         "--frontier", action="store_true",
@@ -477,19 +533,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="print the shrunk counterexample's injection trace",
     )
+    _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_campaign)
 
+    p = sub.add_parser(
+        "profile", help="inspect a JSONL telemetry trace (--trace output)"
+    )
+    p.add_argument(
+        "view", choices=["summary", "events", "metrics"],
+        help="summary: totals and span-free overview; events: the "
+        "timeline; metrics: the trace's run.* counters",
+    )
+    p.add_argument("trace_file", help="a trace written by --trace FILE")
+    p.add_argument("--kind", help="events view: only this event kind")
+    p.add_argument(
+        "--limit", type=int, default=40,
+        help="events view: show at most N events (default 40)",
+    )
+    p.add_argument(
+        "--offset", type=int, default=0,
+        help="events view: skip the first N matching events",
+    )
+    p.set_defaults(func=_cmd_profile)
+
     return parser
+
+
+def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="FILE",
+        help="record a JSONL telemetry trace of the run to FILE "
+        "(byte-identical for any --jobs value; inspect with "
+        "'repro profile')",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="print the telemetry run summary (events, metrics, spans) "
+        "after the run",
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    telemetry = _telemetry_requested(args)
+    if telemetry:
+        obs.enable()
     try:
-        return args.func(args)
+        code = args.func(args)
+        if telemetry:
+            _finish_telemetry(args)
+        return code
     except (GraphError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if telemetry:
+            obs.reset()
 
 
 if __name__ == "__main__":  # pragma: no cover

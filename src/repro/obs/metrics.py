@@ -1,0 +1,299 @@
+"""Central metrics registry: counters, gauges, histograms.
+
+One interface absorbs the stats that used to be scattered across
+:class:`~repro.runtime.memo.BehaviorCache` (hit/miss),
+:class:`~repro.analysis.campaign.SearchStats`, the connectivity
+analytics cache, and the incremental execution trie — behind labeled
+metric names with a ``run.`` / ``host.`` scope split:
+
+* ``run.*`` metrics are derived exclusively from run-scope events as
+  they reach the main event log (:meth:`MetricsRegistry.record_event`),
+  so they are byte-identical across ``--jobs`` settings — the parent
+  replays worker capsules in item order and the counters fall out of
+  the same stream.
+* ``host.*`` metrics are process-local facts (cache luck, worker
+  pools, wall time) absorbed from the legacy stat objects; they are
+  printed in summaries but excluded from exported traces.
+
+The module is dependency-free and imports nothing from the rest of the
+repo at module level, so every layer can use it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+RUN_SCOPE = "run"
+HOST_SCOPE = "host"
+
+
+def metric_key(name: str, **labels: Any) -> str:
+    """Flatten a metric name + labels into one canonical string key:
+    ``name{a=1,b=x}`` with labels sorted by name."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Histogram:
+    """A minimal aggregate histogram: count / total / min / max."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": (self.total / self.count) if self.count else 0.0,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms under flattened label keys."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- instruments -------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        key = metric_key(name, **labels)
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.gauges[metric_key(name, **labels)] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        key = metric_key(name, **labels)
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram()
+        hist.observe(value)
+
+    def get_counter(self, name: str, **labels: Any) -> float:
+        return self.counters.get(metric_key(name, **labels), 0)
+
+    def get_gauge(self, name: str, **labels: Any) -> float:
+        return self.gauges.get(metric_key(name, **labels), 0)
+
+    # -- event derivation --------------------------------------------------
+
+    def record_event(
+        self, kind: str, fields: tuple[tuple[str, Any], ...]
+    ) -> None:
+        """Fold one event (just appended to the main log) into the
+        registry.  Every ``run.*`` counter is derived here and nowhere
+        else, which is what makes the run-scope metrics a pure function
+        of the event stream."""
+        from . import events as ev
+
+        scope = HOST_SCOPE if kind in ev.HOST_KINDS else RUN_SCOPE
+        self.inc(f"{scope}.events.total")
+        self.inc(f"{scope}.events.{kind}")
+        if kind == ev.ROUND_END:
+            data = dict(fields)
+            self.inc("run.rounds.total")
+            self.inc("run.messages.delivered", data.get("messages", 0))
+            self.inc("run.faults.injected", data.get("injected", 0))
+        elif kind == ev.ATTEMPT_END:
+            data = dict(fields)
+            self.inc("run.attempts.total")
+            if data.get("ok"):
+                self.inc("run.attempts.ok")
+            else:
+                self.inc("run.attempts.violations")
+        elif kind == ev.ORBIT_REUSE:
+            self.inc("run.orbit.reused")
+        elif kind == ev.SHRINK_STEP:
+            self.inc("run.shrink.deletions")
+        elif kind == ev.TIMED_EVENT:
+            self.inc("run.timed.events")
+        elif kind == ev.SWEEP_POINT:
+            self.inc("run.sweep.points")
+        elif kind == ev.FRONTIER_LEVEL:
+            self.inc("run.frontier.levels")
+
+    # -- snapshots ---------------------------------------------------------
+
+    def _filtered(
+        self, table: Mapping[str, Any], scope: str | None
+    ) -> dict[str, Any]:
+        if scope is None:
+            return dict(sorted(table.items()))
+        prefix = scope + "."
+        return {
+            k: v for k, v in sorted(table.items()) if k.startswith(prefix)
+        }
+
+    def snapshot(self, scope: str | None = None) -> dict[str, Any]:
+        return {
+            "counters": self._filtered(self.counters, scope),
+            "gauges": self._filtered(self.gauges, scope),
+            "histograms": {
+                k: h.snapshot()
+                for k, h in self._filtered(self.histograms, scope).items()
+            },
+        }
+
+    def run_counters(self) -> dict[str, float]:
+        """The deterministic section, sorted — what trace export
+        writes."""
+        return self._filtered(self.counters, RUN_SCOPE)
+
+
+# -- absorbing the legacy stat objects -------------------------------------
+
+
+def absorb_cache_stats(
+    registry: MetricsRegistry, stats: Mapping[str, int], cache: str = "behavior"
+) -> None:
+    """Fold a :meth:`BehaviorCache.stats`-shaped dict into ``host.cache.*``."""
+    registry.set_gauge("host.cache.hits", stats["hits"], cache=cache)
+    registry.set_gauge("host.cache.misses", stats["misses"], cache=cache)
+    registry.set_gauge("host.cache.size", stats["size"], cache=cache)
+    registry.set_gauge("host.cache.maxsize", stats["maxsize"], cache=cache)
+
+
+def absorb_orbit_stats(
+    registry: MetricsRegistry, stats: Mapping[str, int]
+) -> None:
+    """Fold :meth:`OrbitIndex.stats` into ``host.orbit.*`` gauges."""
+    for name, value in stats.items():
+        registry.set_gauge(f"host.orbit.{name}", value)
+
+
+def absorb_incremental_stats(
+    registry: MetricsRegistry, stats: Mapping[str, int]
+) -> None:
+    """Fold :meth:`IncrementalContext.stats` into ``host.trie.*``."""
+    for name, value in stats.items():
+        registry.set_gauge(f"host.trie.{name}", value)
+
+
+def absorb_connectivity_stats(registry: MetricsRegistry) -> None:
+    """Fold the connectivity analytics cache counters into
+    ``host.connectivity.*``."""
+    from ..graphs.connectivity import analytics_stats
+
+    for name, value in analytics_stats().items():
+        registry.set_gauge(f"host.connectivity.{name}", value)
+
+
+def absorb_search_stats(registry: MetricsRegistry, stats: Any) -> None:
+    """Fold a :class:`~repro.analysis.campaign.SearchStats` (duck-typed:
+    ``.cache`` / ``.orbit_index`` / ``.incremental``, each optional)
+    into the registry."""
+    if getattr(stats, "cache", None) is not None:
+        absorb_cache_stats(registry, stats.cache.stats())
+    if getattr(stats, "orbit_index", None) is not None:
+        absorb_orbit_stats(registry, stats.orbit_index.stats())
+    if getattr(stats, "incremental", None) is not None:
+        absorb_incremental_stats(registry, stats.incremental.stats())
+
+
+# -- legacy output shapes ---------------------------------------------------
+#
+# ``--cache-stats`` predates the registry; its output shape is kept
+# stable by rendering the same strings the stat objects' ``describe``
+# methods produced, now read back out of the registry.
+
+
+def describe_cache(
+    registry: MetricsRegistry, cache: str = "behavior"
+) -> str:
+    hits = int(registry.get_gauge("host.cache.hits", cache=cache))
+    misses = int(registry.get_gauge("host.cache.misses", cache=cache))
+    size = int(registry.get_gauge("host.cache.size", cache=cache))
+    maxsize = int(registry.get_gauge("host.cache.maxsize", cache=cache))
+    total = hits + misses
+    rate = (100.0 * hits / total) if total else 0.0
+    return (
+        f"cache: {hits} hits / {misses} misses "
+        f"({rate:.0f}% hit rate), {size}/{maxsize} entries"
+    )
+
+
+def describe_orbit(registry: MetricsRegistry) -> str:
+    g = int(registry.get_gauge("host.orbit.group_order"))
+    exact = int(registry.get_gauge("host.orbit.exact_group"))
+    seen = int(registry.get_gauge("host.orbit.scenarios_seen"))
+    orbits = int(registry.get_gauge("host.orbit.orbits"))
+    collapsed = int(registry.get_gauge("host.orbit.orbits_collapsed"))
+    saved = int(registry.get_gauge("host.orbit.runs_saved"))
+    return (
+        f"orbit dedup: |Aut|={g}"
+        f"{'' if exact else ' (identity fallback)'}, "
+        f"{seen} scenarios -> {orbits} orbits, "
+        f"{collapsed} collapsed, "
+        f"{saved} runs saved"
+    )
+
+
+def describe_incremental(registry: MetricsRegistry) -> str:
+    runs = int(registry.get_gauge("host.trie.runs"))
+    contexts = int(registry.get_gauge("host.trie.contexts"))
+    replayed = int(registry.get_gauge("host.trie.rounds_replayed"))
+    executed = int(registry.get_gauge("host.trie.rounds_executed"))
+    snapshots = int(registry.get_gauge("host.trie.snapshots"))
+    total = replayed + executed
+    ratio = replayed / total if total else 0.0
+    return (
+        f"incremental execution: {runs} runs over "
+        f"{contexts} contexts, "
+        f"{replayed}/{total} rounds replayed from "
+        f"snapshots ({ratio:.0%}), {snapshots} snapshots held"
+    )
+
+
+def describe_search_stats(registry: MetricsRegistry, stats: Any) -> str:
+    """Render the ``--cache-stats`` block from the registry in the
+    exact shape :meth:`SearchStats.describe` produced.  ``stats`` is
+    consulted only for *which* sections were in use."""
+    absorb_search_stats(registry, stats)
+    lines = []
+    if getattr(stats, "cache", None) is not None:
+        lines.append(describe_cache(registry))
+    if getattr(stats, "orbit_index", None) is not None:
+        lines.append(describe_orbit(registry))
+    if getattr(stats, "incremental", None) is not None:
+        lines.append(describe_incremental(registry))
+    return "\n".join(lines) or "no caches in use"
+
+
+__all__ = [
+    "HOST_SCOPE",
+    "Histogram",
+    "MetricsRegistry",
+    "RUN_SCOPE",
+    "absorb_cache_stats",
+    "absorb_connectivity_stats",
+    "absorb_incremental_stats",
+    "absorb_orbit_stats",
+    "absorb_search_stats",
+    "describe_cache",
+    "describe_incremental",
+    "describe_orbit",
+    "describe_search_stats",
+    "metric_key",
+]

@@ -1,0 +1,139 @@
+"""Nestable spans: logical boundaries in the trace, wall time on the
+side.
+
+A span marks a region of work — an executor round, a campaign attempt,
+a shrink ladder, a frontier probe.  Spans split their two outputs by
+determinism:
+
+* ``span_start`` / ``span_end`` events (run scope) go into the event
+  log; ``span_end`` carries the number of events the span enclosed.
+  Neither carries wall time, so traces stay byte-identical across
+  ``--jobs`` settings and machines.
+* Wall-clock durations are aggregated host-side per span name
+  (count / total / min / max seconds) and surface in the run summary
+  and ``host.span.*`` metrics — never in the exported trace.
+
+Spans nest lexically (a plain stack); pairing ``span_start`` with its
+``span_end`` in a trace is by nesting order, like well-formed
+brackets.  When telemetry is disabled, :meth:`Tracer.span` yields
+immediately — the disabled cost is one boolean check.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Iterator
+
+from . import events as ev
+
+
+class SpanAggregate:
+    """Wall-time aggregate for one span name."""
+
+    __slots__ = ("count", "total_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": (self.total_s / self.count) if self.count else 0.0,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class Tracer:
+    """Span emission + host-side wall-time aggregation."""
+
+    __slots__ = ("aggregates", "_depth")
+
+    def __init__(self) -> None:
+        self.aggregates: dict[str, SpanAggregate] = {}
+        self._depth = 0
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def observe(self, name: str, seconds: float) -> None:
+        agg = self.aggregates.get(name)
+        if agg is None:
+            agg = self.aggregates[name] = SpanAggregate()
+        agg.observe(seconds)
+
+    @contextmanager
+    def span(
+        self, name: str, emit_events: bool = True, **fields: Any
+    ) -> Iterator[None]:
+        """Mark a region of work.
+
+        ``emit_events=False`` records only the wall-time aggregate —
+        for hot regions whose boundaries are already evident from
+        other events (e.g. executor rounds).
+        """
+        if not ev.is_enabled():
+            yield
+            return
+        start = perf_counter()
+        events_before = _stream_position()
+        if emit_events:
+            ev.emit(ev.SPAN_START, name=name, **fields)
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            if emit_events:
+                enclosed = _stream_position() - events_before - 1
+                ev.emit(ev.SPAN_END, name=name, events=enclosed)
+            self.observe(name, perf_counter() - start)
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        return {
+            name: agg.snapshot()
+            for name, agg in sorted(self.aggregates.items())
+        }
+
+    def render(self) -> str:
+        """Human-readable span table (host scope: wall times are this
+        process's view — forked workers' spans aggregate in their own
+        processes and are not merged)."""
+        if not self.aggregates:
+            return "no spans recorded"
+        lines = ["span                           count   total(s)    mean(s)     max(s)"]
+        for name, agg in sorted(self.aggregates.items()):
+            s = agg.snapshot()
+            lines.append(
+                f"{name:<30} {s['count']:>5}  {s['total_s']:>9.4f} "
+                f"{s['mean_s']:>10.6f} {s['max_s']:>10.6f}"
+            )
+        return "\n".join(lines)
+
+
+def _stream_position() -> int:
+    """Current position in the active sink's *run-scope* stream —
+    capsule run-length or the main log's run sequence counter.  Host
+    events are excluded so the enclosed-event count a ``span_end``
+    carries never depends on cache luck or worker scheduling."""
+    state = ev._STATE
+    if state.sinks:
+        return state.sinks[-1].run_len
+    return state.log.seq if state.log is not None else 0
+
+
+__all__ = ["SpanAggregate", "Tracer"]

@@ -42,8 +42,10 @@ memory stays bounded.
 from __future__ import annotations
 
 from collections import OrderedDict
+from time import perf_counter
 from typing import Any
 
+from .. import obs
 from ..graphs.graph import DirectedEdge
 from .faults import FaultPlan, InjectionTrace, SyncFaultInjector, _PlanIndex
 from .plan import SyncPlan
@@ -274,9 +276,27 @@ class TrieRun:
         trie.runs += 1
         trie.rounds_replayed += depth
 
+        obs_on = obs.is_enabled()
+        if obs_on and depth:
+            # Replayed rounds are lookups, not executions — but the
+            # run-scope event stream must not know that.  Synthesize,
+            # from the stored deltas, exactly the events execute_plan
+            # would have emitted for the prefix; the replay fact itself
+            # is a host-scope event.
+            obs.emit(obs.TRIE_REPLAY, rounds=depth)
+            for replay_index in range(depth):
+                _emit_round_events(
+                    replay_index,
+                    dict(zip(plan.edges, self._path[replay_index + 1].messages)),
+                    self._path[replay_index + 1].trace,
+                )
+
         # From here down this is execute_plan's round loop verbatim,
         # plus a per-round delta recorded into the trie.
         for round_index in range(depth, self.rounds):
+            if obs_on:
+                round_t0 = perf_counter()
+                obs.emit(obs.ROUND_START, round=round_index)
             trace_mark = len(injector.trace.records)
             outboxes: dict[DirectedEdge, Any] = {}
             for cn, node_run in zip(compiled, runs):
@@ -294,6 +314,11 @@ class TrieRun:
                     outboxes[edge] = message
                     edge_messages[edge].append(message)
 
+            if obs_on:
+                _emit_phase_events(
+                    round_index, outboxes, injector.trace.records[trace_mark:]
+                )
+
             for cn, node_run in zip(compiled, runs):
                 inbox = {
                     label: outboxes[edge] for label, edge in cn.in_routes
@@ -305,6 +330,15 @@ class TrieRun:
                 node_run.observe_choice(
                     cn.device, cn.ctx, round_index + 1, cn.node
                 )
+
+            if obs_on:
+                obs.emit(
+                    obs.ROUND_END,
+                    round=round_index,
+                    messages=len(outboxes),
+                    injected=len(injector.trace.records) - trace_mark,
+                )
+                obs.observe_span("executor.round", perf_counter() - round_t0)
 
             trie.rounds_executed += 1
             child = _TrieNode(
@@ -336,6 +370,46 @@ class TrieRun:
             node_behaviors=node_behaviors,
             edge_behaviors=edge_behaviors,
         )
+
+
+def _emit_phase_events(
+    round_index: int, by_edge: dict[DirectedEdge, Any], records
+) -> None:
+    """Emit one round's delivery + injection events in the same
+    canonical (sorted) order :func:`execute_plan` uses — replayed and
+    executed rounds must be indistinguishable in the trace."""
+    for edge in sorted(by_edge, key=repr):
+        obs.emit(
+            obs.MESSAGE_DELIVERY,
+            round=round_index,
+            src=str(edge[0]),
+            dst=str(edge[1]),
+            empty=by_edge[edge] is None,
+        )
+    for rec in sorted(records, key=lambda r: (repr(r.edge), r.action, r.time)):
+        obs.emit(
+            obs.FAULT_INJECTION,
+            round=round_index,
+            src=str(rec.edge[0]),
+            dst=str(rec.edge[1]),
+            action=rec.action,
+            time=rec.time,
+        )
+
+
+def _emit_round_events(
+    round_index: int, by_edge: dict[DirectedEdge, Any], records
+) -> None:
+    """Synthesize a full replayed round's event stream from its stored
+    trie delta."""
+    obs.emit(obs.ROUND_START, round=round_index)
+    _emit_phase_events(round_index, by_edge, records)
+    obs.emit(
+        obs.ROUND_END,
+        round=round_index,
+        messages=len(by_edge),
+        injected=len(records),
+    )
 
 
 class IncrementalContext:

@@ -25,8 +25,10 @@ send and receive phases, in the same order.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any
 
+from ... import obs
 from ...graphs.graph import DirectedEdge, NodeId
 from ..faults import SyncFaultInjector
 from ..plan import SyncPlan, compile_sync_plan
@@ -88,7 +90,19 @@ def execute_plan(
         edge: [] for edge in plan.edges
     }
 
+    # Telemetry is hoisted to one boolean per call; when off, the only
+    # per-round cost below is this flag check (the per-edge loops are
+    # untouched).
+    obs_on = obs.is_enabled()
+
     for round_index in range(rounds):
+        if obs_on:
+            round_t0 = perf_counter()
+            obs.emit(obs.ROUND_START, round=round_index)
+            trace_mark = (
+                len(injector.trace.records) if injector is not None else 0
+            )
+
         # Phase 1: every node emits this round's messages.
         outboxes: dict[DirectedEdge, Any] = {}
         for cn, node_run in zip(compiled, runs):
@@ -106,6 +120,35 @@ def execute_plan(
                 outboxes[edge] = message
                 edge_messages[edge].append(message)
 
+        if obs_on:
+            # Delivery/injection events are emitted in sorted-edge
+            # order, not routing order: compiled routing follows
+            # frozenset iteration, which is hash-dependent and so not
+            # stable across interpreter processes.
+            for edge in sorted(outboxes, key=repr):
+                obs.emit(
+                    obs.MESSAGE_DELIVERY,
+                    round=round_index,
+                    src=str(edge[0]),
+                    dst=str(edge[1]),
+                    empty=outboxes[edge] is None,
+                )
+            injected = 0
+            if injector is not None:
+                fresh = injector.trace.records[trace_mark:]
+                injected = len(fresh)
+                for rec in sorted(
+                    fresh, key=lambda r: (repr(r.edge), r.action, r.time)
+                ):
+                    obs.emit(
+                        obs.FAULT_INJECTION,
+                        round=round_index,
+                        src=str(rec.edge[0]),
+                        dst=str(rec.edge[1]),
+                        action=rec.action,
+                        time=rec.time,
+                    )
+
         # Phase 2: every node consumes its inbox and moves.
         for cn, node_run in zip(compiled, runs):
             inbox = {
@@ -116,6 +159,15 @@ def execute_plan(
             )
             node_run.states.append(state)
             node_run.observe_choice(cn.device, cn.ctx, round_index + 1, cn.node)
+
+        if obs_on:
+            obs.emit(
+                obs.ROUND_END,
+                round=round_index,
+                messages=len(outboxes),
+                injected=injected,
+            )
+            obs.observe_span("executor.round", perf_counter() - round_t0)
 
     node_behaviors = {
         cn.node: NodeBehavior(

@@ -33,8 +33,10 @@ import itertools
 import math
 from collections.abc import Hashable
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any
 
+from ... import obs
 from ...graphs.graph import DirectedEdge, GraphError, NodeId
 from ..faults import TimedFaultInjector
 from ..plan import compile_timed_plan
@@ -252,11 +254,23 @@ class _Run:
                     self.schedule(time, u, "scripted", (port, message, arrival))
             self.schedule(0.0, u, "start", None)
 
+        # One flag for the whole event loop; when telemetry is off the
+        # per-event cost is a single boolean check.
+        obs_on = obs.is_enabled()
+        if obs_on:
+            loop_t0 = perf_counter()
+
         while self._queue:
             (key, node, kind, payload) = heapq.heappop(self._queue)
             time = key[0]
             if time > self.horizon:
                 break
+            if obs_on:
+                # Simulated time only — the dispatch order is already
+                # canonical, so this stream is deterministic.  The
+                # dispatch kind is carried as ``event`` ("kind" is the
+                # telemetry-level discriminator).
+                obs.emit(obs.TIMED_EVENT, time=time, node=str(node), event=kind)
             api = self.apis[node]
             api.now = time
             device = self.devices[node]
@@ -280,6 +294,9 @@ class _Run:
                 device.on_message(ctx, api, port, message)
             else:  # pragma: no cover
                 raise TimedExecutionError(f"unknown event kind {kind!r}")
+
+        if obs_on:
+            obs.observe_span("executor.timed", perf_counter() - loop_t0)
 
         node_behaviors = {
             u: TimedNodeBehavior(

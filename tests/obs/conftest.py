@@ -1,0 +1,11 @@
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    """Telemetry is process-global; never leak it across tests."""
+    obs.reset()
+    yield
+    obs.reset()

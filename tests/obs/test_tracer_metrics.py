@@ -1,0 +1,148 @@
+"""Tracer spans and the metrics registry."""
+
+from repro import obs
+from repro.obs import MetricsRegistry
+
+
+class TestTracer:
+    def test_span_emits_paired_events_with_enclosed_count(self):
+        obs.enable()
+        tracer = obs.get_tracer()
+        with tracer.span("campaign.attempt", attempt=1):
+            obs.emit(obs.ROUND_START, round=0)
+            obs.emit(obs.ROUND_END, round=0, messages=0, injected=0)
+        kinds = [e.kind for e in obs.get_log().events("run")]
+        assert kinds == [
+            obs.SPAN_START,
+            obs.ROUND_START,
+            obs.ROUND_END,
+            obs.SPAN_END,
+        ]
+        end = obs.get_log().events("run")[-1]
+        assert dict(end.fields)["events"] == 2
+
+    def test_enclosed_count_ignores_host_events(self):
+        obs.enable()
+        with obs.get_tracer().span("s"):
+            obs.emit(obs.CACHE_HIT, cache="behavior")
+            obs.emit(obs.ROUND_START, round=0)
+        end = obs.get_log().events("run")[-1]
+        assert dict(end.fields)["events"] == 1
+
+    def test_wall_time_aggregates_not_in_events(self):
+        obs.enable()
+        with obs.get_tracer().span("s"):
+            pass
+        obs.observe_span("s", 0.25)
+        stats = obs.get_tracer().stats()["s"]
+        assert stats["count"] == 2
+        assert stats["total_s"] >= 0.25
+        for event in obs.get_log().events("run"):
+            assert "seconds" not in dict(event.fields)
+        assert obs.get_tracer().render().startswith("span")
+
+    def test_span_disabled_is_noop(self):
+        tracer_cls = type(obs.get_tracer()) if obs.get_tracer() else None
+        assert tracer_cls is None  # telemetry off: no tracer exists
+        obs.observe_span("s", 1.0)  # must not raise
+
+
+class TestRegistryDerivation:
+    def test_run_counters_derived_from_events(self):
+        obs.enable()
+        obs.emit(obs.ROUND_END, round=0, messages=6, injected=2)
+        obs.emit(obs.ATTEMPT_END, attempt=1, ok=True)
+        obs.emit(obs.ATTEMPT_END, attempt=2, ok=False)
+        obs.emit(obs.ORBIT_REUSE, attempt=3)
+        obs.emit(obs.SHRINK_STEP, attempt=2, deleted="atom", atoms=1, nodes=0)
+        obs.emit(obs.TIMED_EVENT, time=0.5, node="p", event="deliver")
+        obs.emit(obs.SWEEP_POINT, sweep="node-bound", n=4)
+        obs.emit(obs.FRONTIER_LEVEL, budget=1, attempts=5, broken="-")
+        counters = obs.get_registry().run_counters()
+        assert counters["run.rounds.total"] == 1
+        assert counters["run.messages.delivered"] == 6
+        assert counters["run.faults.injected"] == 2
+        assert counters["run.attempts.total"] == 2
+        assert counters["run.attempts.ok"] == 1
+        assert counters["run.attempts.violations"] == 1
+        assert counters["run.orbit.reused"] == 1
+        assert counters["run.shrink.deletions"] == 1
+        assert counters["run.timed.events"] == 1
+        assert counters["run.sweep.points"] == 1
+        assert counters["run.frontier.levels"] == 1
+
+    def test_captured_events_do_not_touch_registry_until_replayed(self):
+        obs.enable()
+        with obs.capture() as capsule:
+            obs.emit(obs.ROUND_END, round=0, messages=3, injected=0)
+        assert obs.get_registry().get_counter("run.rounds.total") == 0
+        obs.replay(capsule.payload())
+        assert obs.get_registry().get_counter("run.rounds.total") == 1
+
+    def test_scope_snapshot_filtering(self):
+        obs.enable()
+        obs.emit(obs.ROUND_START, round=0)
+        obs.emit(obs.CACHE_HIT, cache="behavior")
+        registry = obs.get_registry()
+        run = registry.snapshot(scope="run")["counters"]
+        host = registry.snapshot(scope="host")["counters"]
+        assert "run.events.round_start" in run
+        assert "host.events.cache_hit" in host
+        assert not any(k.startswith("host.") for k in run)
+
+
+class TestLegacyRendering:
+    def test_describe_cache_matches_behavior_cache_describe(self):
+        from repro.runtime.memo import BehaviorCache
+
+        cache = BehaviorCache(maxsize=64)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        registry = MetricsRegistry()
+        obs.absorb_cache_stats(registry, cache.stats())
+        assert obs.describe_cache(registry) == cache.describe()
+
+    def test_describe_search_stats_matches_legacy_shape(self):
+        from repro.analysis.campaign import CampaignConfig, SearchStats, run_campaign
+        from repro.graphs import complete_graph
+        from repro.protocols import MajorityVoteDevice
+        from repro.runtime.incremental import IncrementalContext
+        from repro.runtime.memo import BehaviorCache
+
+        config = CampaignConfig(
+            graph=complete_graph(4),
+            device_factory=lambda g: {
+                u: MajorityVoteDevice() for u in g.nodes
+            },
+            rounds=2,
+            max_node_faults=0,
+            max_link_faults=2,
+            attempts=20,
+            seed=0,
+        )
+        stats = SearchStats()
+        run_campaign(
+            config,
+            cache=BehaviorCache(),
+            orbit_dedup=True,
+            incremental=IncrementalContext(),
+            stats=stats,
+        )
+        out = stats.describe()
+        assert "cache:" in out
+        assert "orbit dedup:" in out
+        assert "incremental execution:" in out
+        # Rendering is pure: same stats, same strings.
+        assert out == stats.describe()
+
+    def test_absorb_search_stats_handles_missing_sections(self):
+        registry = MetricsRegistry()
+
+        class Empty:
+            cache = None
+            orbit_index = None
+            incremental = None
+
+        obs.absorb_search_stats(registry, Empty())
+        assert obs.describe_search_stats(registry, Empty()) == "no caches in use"
