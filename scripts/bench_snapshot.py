@@ -34,6 +34,11 @@ each layer is output-invisible:
                       1.05 the script exits nonzero, same as an
                       equivalence failure.  (An informational
                       enabled-telemetry timing rides along.)
+* ``checkpoint_overhead`` — ``run_campaign(store=None)`` vs a bare
+                      hand-rolled attempt-scan loop with no run-store
+                      branches.  Same hard-gate contract at 1.05;
+                      informational journal-to-cold-store and
+                      resume-from-warm-store timings ride along.
 
 Usage::
 
@@ -361,6 +366,122 @@ def bench_telemetry_overhead(smoke):
     }
 
 
+#: Hard ceiling on the store-disabled / bare-scan-loop ratio.
+CHECKPOINT_OVERHEAD_BUDGET = 1.05
+
+
+def bench_checkpoint_overhead(smoke):
+    """Checkpointing-disabled ``run_campaign`` vs a bare scan loop.
+
+    The run-store hooks ride inside the campaign's attempt loop, so a
+    run with ``store=None`` must cost (nearly) nothing extra.  The
+    oracle is a hand-rolled sample-execute-check loop with no journal
+    branches at all; the two legs are timed *interleaved* and the
+    disabled/bare ratio is a **hard gate** (same contract as
+    ``telemetry_overhead``).  Informational timings for journaling to
+    a cold store and resuming from a fully-warm one ride along.
+
+    The workload is a *surviving* campaign (no early exit), so both
+    legs scan every attempt and the journal spans the full run.
+    """
+    import shutil
+    import tempfile
+
+    from repro.analysis.campaign import (
+        _sample_attempt,
+        campaign_store_key,
+        execute_attempt,
+    )
+    from repro.analysis.runstore import RunStore
+
+    # The full workload costs ~10ms per leg, so smoke keeps it (a
+    # 6-attempt scan would leave the fixed per-run cost un-amortized
+    # and trip the gate on setup noise, not the loop).
+    attempts, repeats = (40, 3) if smoke else (40, 7)
+    config = CampaignConfig(
+        graph=complete_graph(4),
+        device_factory=_eig_factory,
+        rounds=2,
+        max_node_faults=0,
+        max_link_faults=1,
+        attempts=attempts,
+        seed=5,
+        link_kinds=("drop",),
+    )
+
+    def bare_scan():
+        oks = []
+        for attempt in range(1, config.attempts + 1):
+            node_faults, plan, inputs = _sample_attempt(config, attempt)
+            _, verdict, _ = execute_attempt(
+                config, inputs, node_faults, plan, None, None
+            )
+            oks.append(verdict.ok)
+            if not verdict.ok:
+                break
+        return oks
+
+    best_bare = best_disabled = float("inf")
+    oks = disabled = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        oks = bare_scan()
+        best_bare = min(best_bare, time.perf_counter() - start)
+        start = time.perf_counter()
+        disabled = run_campaign(config, memoize=False)
+        best_disabled = min(best_disabled, time.perf_counter() - start)
+    assert not disabled.broken, "workload must survive (no early exit)"
+
+    key = campaign_store_key(config)
+    reference = json.dumps(campaign_to_dict(disabled), sort_keys=True)
+    identical = all(oks) and len(oks) == config.attempts
+
+    tmp = tempfile.mkdtemp(prefix="bench-ckpt-")
+    try:
+        best_cold = float("inf")
+        for i in range(repeats):
+            store_dir = pathlib.Path(tmp) / f"cold{i}"
+            start = time.perf_counter()
+            with RunStore(store_dir).shard(key) as shard:
+                cold = run_campaign(config, memoize=False, store=shard)
+            best_cold = min(best_cold, time.perf_counter() - start)
+            identical = identical and (
+                json.dumps(campaign_to_dict(cold), sort_keys=True)
+                == reference
+            )
+        warm_dir = pathlib.Path(tmp) / "cold0"
+        best_warm = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            with RunStore(warm_dir).shard(key) as shard:
+                warm = run_campaign(config, memoize=False, store=shard)
+            best_warm = min(best_warm, time.perf_counter() - start)
+            identical = identical and (
+                json.dumps(campaign_to_dict(warm), sort_keys=True)
+                == reference
+            )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    ratio = best_disabled / best_bare if best_bare else None
+    return {
+        "workload": (
+            f"surviving EIG campaign on K4, {attempts} attempts, "
+            "k<=1 drop faults, unmemoized"
+        ),
+        "bare_s": best_bare,
+        "disabled_s": best_disabled,
+        "journal_cold_s": best_cold,
+        "resume_warm_s": best_warm,
+        "disabled_over_bare": ratio,
+        "budget": CHECKPOINT_OVERHEAD_BUDGET,
+        "within_budget": (
+            ratio is not None and ratio <= CHECKPOINT_OVERHEAD_BUDGET
+        ),
+        "identical_output": identical,
+    }
+
+
 def bench_parallel(smoke):
     config = _campaign_config(smoke)
     repeats = 1 if smoke else 3
@@ -399,6 +520,7 @@ BENCHES = {
     "sweep": bench_sweep,
     "parallel": bench_parallel,
     "telemetry_overhead": bench_telemetry_overhead,
+    "checkpoint_overhead": bench_checkpoint_overhead,
 }
 
 
@@ -481,7 +603,7 @@ def main():
         print(f"EQUIVALENCE FAILURES: {', '.join(failures)}")
         return 1
     if over_budget:
-        print(f"TELEMETRY OVERHEAD OVER BUDGET: {', '.join(over_budget)}")
+        print(f"OVERHEAD OVER BUDGET: {', '.join(over_budget)}")
         return 1
     return 0
 

@@ -13,9 +13,16 @@ from .sweep import (
     SweepRow,
     connectivity_sweep,
     node_bound_sweep,
+    sweep_store_key,
 )
 from .adversary_search import SearchResult, search_agreement_attacks
-from .parallel import ParallelRunner, available_parallelism, fork_available
+from .parallel import (
+    ItemError,
+    ParallelRunner,
+    available_parallelism,
+    fork_available,
+)
+from .runstore import RunStore, RunStoreError, Shard, atomic_write_text
 from .campaign import (
     CampaignConfig,
     CampaignResult,
@@ -25,7 +32,9 @@ from .campaign import (
     FrontierRow,
     NodeFault,
     SearchStats,
+    campaign_store_key,
     degradation_frontier,
+    frontier_store_key,
     replay_counterexample,
     run_campaign,
     sample_fault_plan,
@@ -39,6 +48,8 @@ from .convergence import (
 from .report import ReportLine, full_report, render_report
 from .witness_io import (
     campaign_to_dict,
+    load_campaign,
+    load_json_file,
     save_campaign,
     save_witness,
     witness_to_dict,
@@ -59,12 +70,20 @@ __all__ = [
     "DegradationFrontier",
     "FRONTIER_HEADERS",
     "FrontierRow",
+    "ItemError",
     "NodeFault",
     "ParallelRunner",
+    "RunStore",
+    "RunStoreError",
     "SWEEP_HEADERS",
+    "Shard",
     "SweepRow",
+    "atomic_write_text",
+    "campaign_store_key",
     "campaign_to_dict",
     "degradation_frontier",
+    "frontier_store_key",
+    "sweep_store_key",
     "replay_counterexample",
     "run_campaign",
     "sample_fault_plan",
@@ -84,6 +103,8 @@ __all__ = [
     "available_parallelism",
     "fork_available",
     "full_report",
+    "load_campaign",
+    "load_json_file",
     "render_report",
     "save_witness",
     "witness_to_dict",

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import random
 from collections.abc import Callable, Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import Any
 
@@ -65,6 +65,7 @@ from ..runtime.memo import (
     BehaviorCache,
     fingerprint,
     graph_fingerprint,
+    json_fingerprint,
     plan_fingerprint,
 )
 from ..runtime.plan import compile_sync_plan
@@ -74,6 +75,14 @@ from ..runtime.sync.executor import run
 from ..runtime.sync.system import make_system
 from .adversary_search import STRATEGIES, build_adversary
 from .parallel import ParallelRunner
+from .runstore import (
+    Shard,
+    decode_payload,
+    encode_payload,
+    journaled_map,
+    reusable,
+    run_scope_payload,
+)
 
 DeviceFactory = Callable[[CommunicationGraph], Mapping[NodeId, SyncDevice]]
 
@@ -296,6 +305,57 @@ def _config_token(config: CampaignConfig) -> str:
         )
         config.__dict__["_memo_token"] = token
     return token
+
+
+def campaign_store_key(config: CampaignConfig) -> str:
+    """Content fingerprint naming a campaign's run-store shard.
+
+    Covers everything that determines the attempt stream — graph shape,
+    device factory, rounds, both fault budgets, attempt count, seed and
+    link kinds — so a shared store directory hands each distinct
+    campaign its own journal, and re-running the same campaign (even
+    from a different process or ``--jobs`` value) finds its old one.
+    """
+    return json_fingerprint(
+        {
+            "kind": "campaign",
+            "config": _config_token(config),
+            "node_faults": config.max_node_faults,
+            "link_faults": config.max_link_faults,
+            "attempts": config.attempts,
+            "seed": config.seed,
+            "link_kinds": list(config.link_kinds),
+        }
+    )
+
+
+def frontier_store_key(
+    config: CampaignConfig,
+    max_link_faults: int | None = None,
+    attempts_per_level: int | None = None,
+) -> str:
+    """Content fingerprint naming a degradation-frontier shard.
+
+    Applies the same defaulting as :func:`degradation_frontier`, so the
+    key depends on the *effective* sweep bounds.
+    """
+    max_links = (
+        config.max_link_faults if max_link_faults is None else max_link_faults
+    )
+    attempts = (
+        config.attempts if attempts_per_level is None else attempts_per_level
+    )
+    return json_fingerprint(
+        {
+            "kind": "frontier",
+            "config": _config_token(config),
+            "node_faults": config.max_node_faults,
+            "max_links": max_links,
+            "attempts_per_level": attempts,
+            "seed": config.seed,
+            "link_kinds": list(config.link_kinds),
+        }
+    )
 
 
 def _attempt_key(
@@ -675,6 +735,7 @@ def run_campaign(
     orbit_dedup: bool = False,
     incremental: "IncrementalContext | bool | None" = None,
     stats: SearchStats | None = None,
+    store: Shard | None = None,
 ) -> CampaignResult:
     """Sample attempts under the combined budget until a spec violation
     appears (then shrink it) or the attempt budget is exhausted.
@@ -696,6 +757,14 @@ def run_campaign(
     replays shared round prefixes from snapshots.  Neither changes the
     result.  Pass a :class:`SearchStats` as ``stats`` to receive the
     cache/orbit/trie objects for counter inspection afterwards.
+
+    ``store`` (a :class:`~repro.analysis.runstore.Shard`, usually
+    obtained via :func:`campaign_store_key`) journals every completed
+    attempt's verdict — plus its run-scope events when telemetry is on
+    — and skips attempts already journaled by an earlier, interrupted
+    process.  Resumed runs replay the journaled events, so results,
+    witnesses, traces and ``run.*`` metrics are byte-identical to an
+    uninterrupted run (checkpoint reuse facts are host-scope only).
     """
     if cache is None and memoize:
         cache = BehaviorCache()
@@ -708,38 +777,77 @@ def run_campaign(
         stats.incremental = incremental
     if jobs > 1:
         return _run_campaign_parallel(
-            config, jobs, cache, orbit_index, incremental
+            config, jobs, cache, orbit_index, incremental, store
         )
     orbit_ok: dict[str, bool] = {}
     obs_on = obs.is_enabled()
-    for attempt in range(1, config.attempts + 1):
-        if obs_on:
-            attempt_t0 = perf_counter()
-            obs.emit(obs.ATTEMPT_START, attempt=attempt)
+
+    def attempt_body(attempt: int) -> bool:
+        """One attempt's deterministic work, emitting its run events."""
         node_faults, plan, inputs = _sample_attempt(config, attempt)
         if orbit_index is not None:
             key = orbit_index.canonical_key(
                 inputs, node_faults, plan, config.value_pool
             )
             if orbit_index.record(key):
-                ok = orbit_ok[key]
                 obs.emit(obs.ORBIT_REUSE, attempt=attempt)
-            else:
-                _, verdict, _ = execute_attempt(
-                    config, inputs, node_faults, plan, cache, incremental
-                )
-                ok = verdict.ok
-                orbit_ok[key] = ok
-        else:
+                return orbit_ok[key]
             _, verdict, _ = execute_attempt(
                 config, inputs, node_faults, plan, cache, incremental
             )
-            ok = verdict.ok
+            orbit_ok[key] = verdict.ok
+            return verdict.ok
+        _, verdict, _ = execute_attempt(
+            config, inputs, node_faults, plan, cache, incremental
+        )
+        return verdict.ok
+
+    for attempt in range(1, config.attempts + 1):
+        item_key = f"attempt:{attempt}"
+        record = store.get(item_key) if store is not None else None
+        if obs_on:
+            attempt_t0 = perf_counter()
+            obs.emit(obs.ATTEMPT_START, attempt=attempt)
+        if reusable(record):
+            # Journaled by an earlier process: replay its recorded
+            # run-scope events instead of re-executing, and rebuild the
+            # orbit bookkeeping so later *fresh* attempts dedup exactly
+            # as the uninterrupted run would have.
+            ok = bool(record["ok"])
+            obs.emit(obs.CHECKPOINT_REUSE, item=item_key)
+            obs.replay(decode_payload(record.get("obs", ())))
+            if orbit_index is not None:
+                node_faults, plan, inputs = _sample_attempt(config, attempt)
+                key = orbit_index.canonical_key(
+                    inputs, node_faults, plan, config.value_pool
+                )
+                orbit_index.record(key)
+                orbit_ok[key] = ok
+        elif store is not None and obs_on:
+            with obs.capture() as capsule:
+                ok = attempt_body(attempt)
+            payload = capsule.payload()
+            obs.replay(payload)
+            store.append(
+                item_key,
+                {
+                    "ok": ok,
+                    "obs": encode_payload(run_scope_payload(payload)),
+                },
+            )
+        else:
+            ok = attempt_body(attempt)
+            if store is not None:
+                store.append(item_key, {"ok": ok})
         if obs_on:
             obs.emit(obs.ATTEMPT_END, attempt=attempt, ok=ok)
             obs.observe_span("campaign.attempt", perf_counter() - attempt_t0)
         if not ok:
+            if store is not None:
+                store.sync()
             return _finish_campaign(config, attempt, cache, incremental)
+    if store is not None:
+        store.sync()
     return CampaignResult(
         config=config, attempts=config.attempts, found=None, shrunk=None
     )
@@ -751,6 +859,7 @@ def _run_campaign_parallel(
     cache: BehaviorCache | None,
     orbit_index: OrbitIndex | None = None,
     incremental: IncrementalContext | None = None,
+    store: Shard | None = None,
 ) -> CampaignResult:
     """Parallel attempt scan: batches of indices fan out to workers,
     which return only ``(attempt, spec ok)`` — small, picklable, and
@@ -762,12 +871,27 @@ def _run_campaign_parallel(
     parent; only one representative per unseen orbit is dispatched to
     the pool, and the ok-bits map back to every member in index order —
     so the first violating index is the same one the serial scan finds.
+
+    A ``store`` shard filters journaled attempts out of the dispatch
+    and journals fresh attempts as they merge (in index order, stopping
+    at the first violation — exactly the set the serial scan would
+    journal), with an fsync at each batch's merge point.  The journal
+    key is the attempt index, so a run checkpointed at one ``--jobs``
+    value resumes correctly at any other.
     """
 
     def probe(attempt: int) -> tuple[int, bool]:
         node_faults, plan, inputs = _sample_attempt(config, attempt)
         _, verdict, _ = execute_attempt(config, inputs, node_faults, plan)
         return (attempt, verdict.ok)
+
+    def journal(item_key: str, ok: bool, payload: tuple) -> None:
+        if store is None:
+            return
+        value: dict[str, Any] = {"ok": ok}
+        if obs.is_enabled():
+            value["obs"] = encode_payload(run_scope_payload(payload))
+        store.append(item_key, value)
 
     runner = ParallelRunner(jobs)
     batch = max(4 * runner.jobs, 8)
@@ -776,17 +900,35 @@ def _run_campaign_parallel(
     for lo in range(1, config.attempts + 1, batch):
         hi = min(lo + batch, config.attempts + 1)
         indices = range(lo, hi)
+        records: dict[int, dict] = {}
+        if store is not None:
+            for attempt in indices:
+                rec = store.get(f"attempt:{attempt}")
+                if reusable(rec):
+                    records[attempt] = rec  # type: ignore[assignment]
         if orbit_index is None:
             # Workers capture each attempt's telemetry; the parent
             # replays the payloads in index order, brackets them with
             # the attempt events, and — like the serial scan — stops
             # consuming at the first violation, discarding any events
             # from attempts the serial run would never have executed.
+            pooled: dict[int, tuple[bool, tuple]] = {}
             for (attempt, ok), payload in runner.map_captured(
-                probe, indices
+                probe, [a for a in indices if a not in records]
             ):
+                pooled[attempt] = (ok, payload)
+            for attempt in indices:
+                item_key = f"attempt:{attempt}"
                 obs.emit(obs.ATTEMPT_START, attempt=attempt)
-                obs.replay(payload)
+                if attempt in records:
+                    record = records[attempt]
+                    ok = bool(record["ok"])
+                    obs.emit(obs.CHECKPOINT_REUSE, item=item_key)
+                    obs.replay(decode_payload(record.get("obs", ())))
+                else:
+                    ok, payload = pooled[attempt]
+                    obs.replay(payload)
+                    journal(item_key, ok, payload)
                 obs.emit(obs.ATTEMPT_END, attempt=attempt, ok=ok)
                 if not ok:
                     first_bad = attempt
@@ -801,6 +943,12 @@ def _run_campaign_parallel(
                     inputs, node_faults, plan, config.value_pool
                 )
                 keys[attempt] = key
+                if attempt in records:
+                    # A journaled attempt's verdict seeds its orbit, so
+                    # fresh members of the same orbit are not
+                    # re-dispatched — matching the uninterrupted run.
+                    orbit_ok.setdefault(key, bool(records[attempt]["ok"]))
+                    continue
                 if key not in orbit_ok and key not in dispatched:
                     representatives.append(attempt)
                     dispatched.add(key)
@@ -811,17 +959,43 @@ def _run_campaign_parallel(
                 orbit_ok[keys[attempt]] = ok
                 rep_payloads[attempt] = payload
             for attempt in indices:
+                item_key = f"attempt:{attempt}"
                 obs.emit(obs.ATTEMPT_START, attempt=attempt)
-                orbit_index.record(keys[attempt])
-                if attempt in rep_payloads:
-                    obs.replay(rep_payloads[attempt])
+                if attempt in records:
+                    record = records[attempt]
+                    ok = bool(record["ok"])
+                    obs.emit(obs.CHECKPOINT_REUSE, item=item_key)
+                    obs.replay(decode_payload(record.get("obs", ())))
+                    orbit_index.record(keys[attempt])
+                elif store is not None and obs.is_enabled():
+                    # Capture the merge body so the journal records the
+                    # same run events a serial execution of this attempt
+                    # emits (the representative's payload, or the orbit
+                    # reuse event).
+                    with obs.capture() as capsule:
+                        orbit_index.record(keys[attempt])
+                        if attempt in rep_payloads:
+                            obs.replay(rep_payloads[attempt])
+                        else:
+                            obs.emit(obs.ORBIT_REUSE, attempt=attempt)
+                    payload = capsule.payload()
+                    obs.replay(payload)
+                    ok = orbit_ok[keys[attempt]]
+                    journal(item_key, ok, payload)
                 else:
-                    obs.emit(obs.ORBIT_REUSE, attempt=attempt)
-                ok = orbit_ok[keys[attempt]]
+                    orbit_index.record(keys[attempt])
+                    if attempt in rep_payloads:
+                        obs.replay(rep_payloads[attempt])
+                    else:
+                        obs.emit(obs.ORBIT_REUSE, attempt=attempt)
+                    ok = orbit_ok[keys[attempt]]
+                    journal(item_key, ok, ())
                 obs.emit(obs.ATTEMPT_END, attempt=attempt, ok=ok)
                 if not ok:
                     first_bad = attempt
                     break
+        if store is not None:
+            store.sync()
         if first_bad is not None:
             break
     if first_bad is None:
@@ -880,6 +1054,7 @@ def degradation_frontier(
     cache: BehaviorCache | None = None,
     orbit_dedup: bool = False,
     incremental: "IncrementalContext | bool | None" = None,
+    store: Shard | None = None,
 ) -> DegradationFrontier:
     """Sweep the link budget 0..max and report, per spec clause, the
     smallest budget at which a campaign finds a violation of it.
@@ -890,6 +1065,11 @@ def degradation_frontier(
     did, so the frontier is identical either way.  ``orbit_dedup`` and
     ``incremental`` are forwarded to every level's campaign (results
     unchanged; see :func:`run_campaign`).
+
+    A ``store`` shard (see :func:`frontier_store_key`) journals each
+    completed budget level — row, shrunk example, and run-scope events
+    — so an interrupted sweep resumes from the first unfinished level
+    with byte-identical output.
     """
     max_links = (
         config.max_link_faults if max_link_faults is None else max_link_faults
@@ -941,7 +1121,15 @@ def degradation_frontier(
         )
 
     runner = ParallelRunner(jobs)
-    rows = runner.map(level_row, range(max_links + 1))
+    rows = journaled_map(
+        runner,
+        level_row,
+        range(max_links + 1),
+        store,
+        key_fn=lambda budget: f"level:{budget}",
+        encode=_frontier_row_to_jsonable,
+        decode=lambda data: _frontier_row_from_jsonable(data, config.graph),
+    )
     first_break: dict[str, int | None] = dict.fromkeys(SPEC_CONDITIONS)
     for row in rows:
         for condition in row.broken_conditions:
@@ -991,6 +1179,57 @@ def counterexample_from_dict(
     )
 
 
+def _frontier_row_to_jsonable(row: FrontierRow) -> dict[str, Any]:
+    """A lossless JSON form of one frontier row (for run-store
+    journaling) — including the shrunk example's verdict, which
+    :func:`counterexample_to_dict` alone keeps only as prose."""
+    data: dict[str, Any] = {
+        "links": row.link_budget,
+        "attempts": row.attempts,
+        "broken": list(row.broken_conditions),
+        "example": None,
+    }
+    if row.example is not None:
+        example = counterexample_to_dict(row.example)
+        example["violations"] = [
+            {
+                "condition": v.condition,
+                "detail": v.detail,
+                "nodes": [str(n) for n in v.nodes],
+            }
+            for v in row.example.verdict.violations
+        ]
+        data["example"] = example
+    return data
+
+
+def _frontier_row_from_jsonable(
+    data: dict[str, Any], graph: CommunicationGraph
+) -> FrontierRow:
+    """Inverse of :func:`_frontier_row_to_jsonable`."""
+    example = None
+    if data.get("example") is not None:
+        example = counterexample_from_dict(data["example"], graph)
+        by_name = {str(u): u for u in graph.nodes}
+        verdict = SpecVerdict(
+            tuple(
+                Violation(
+                    v["condition"],
+                    v["detail"],
+                    tuple(by_name[name] for name in v["nodes"]),
+                )
+                for v in data["example"].get("violations", ())
+            )
+        )
+        example = replace(example, verdict=verdict)
+    return FrontierRow(
+        link_budget=data["links"],
+        attempts=data["attempts"],
+        broken_conditions=tuple(data["broken"]),
+        example=example,
+    )
+
+
 def _frontier_to_jsonable(frontier: DegradationFrontier) -> dict[str, Any]:
     return {
         "first_break": dict(frontier.first_break),
@@ -1015,10 +1254,12 @@ __all__ = [
     "FrontierRow",
     "NodeFault",
     "SearchStats",
+    "campaign_store_key",
     "counterexample_from_dict",
     "counterexample_to_dict",
     "degradation_frontier",
     "execute_attempt",
+    "frontier_store_key",
     "replay_counterexample",
     "run_campaign",
     "sample_fault_plan",

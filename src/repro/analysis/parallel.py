@@ -27,6 +27,13 @@ Design notes
 * **Determinism.**  ``map`` preserves item order (``Pool.map``), so
   "first violation" style reductions in the caller see the same order
   serial execution produced.
+* **Per-item fault tolerance.**  A worker exception does not abort the
+  whole map: the trampolines ship failures back as values (with the
+  item's partially captured telemetry), and the parent re-executes the
+  failed item serially.  Only when the serial retry *also* fails does
+  the error surface — as an :class:`ItemError` carrying the item's
+  index, the item itself, and the worker's captured event payload, so
+  a post-mortem knows exactly which unit died and what it had logged.
 """
 
 from __future__ import annotations
@@ -44,29 +51,68 @@ R = TypeVar("R")
 
 logger = logging.getLogger(__name__)
 
+
+class ItemError(RuntimeError):
+    """One work item failed in a worker *and* in the serial retry.
+
+    Carries the item's identity (``index`` into the mapped sequence and
+    the ``item`` value itself — for campaigns that is the attempt index
+    that seeds the failing scenario) plus ``payload``, the telemetry
+    events the worker captured before dying, so the failure's partial
+    trace is preserved rather than silently dropped.  The retry's
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        item: Any,
+        error: BaseException | str,
+        payload: tuple = (),
+    ) -> None:
+        self.index = index
+        self.item = item
+        self.payload = payload
+        super().__init__(
+            f"work item #{index} ({item!r}) failed after serial retry: "
+            f"{error}"
+        )
+
+
 #: The current work closure, inherited by forked workers.  Only ever
 #: set in the parent, immediately before a pool is created.
 _WORK: Callable[[Any], Any] | None = None
 
 
-def _call(item: Any) -> Any:
-    """Module-level trampoline (picklable by name) around :data:`_WORK`."""
+def _call(item: Any) -> tuple[bool, Any, str | None]:
+    """Module-level trampoline (picklable by name) around :data:`_WORK`.
+
+    Returns ``(ok, result, error)`` — exceptions become values so a
+    crashing item neither aborts ``Pool.map`` nor loses its identity.
+    """
     assert _WORK is not None, "worker forked before _WORK was set"
-    return _WORK(item)
+    try:
+        return (True, _WORK(item), None)
+    except Exception as exc:
+        return (False, None, repr(exc))
 
 
-def _call_captured(item: Any) -> tuple[Any, tuple]:
+def _call_captured(item: Any) -> tuple[bool, tuple[Any, tuple], str | None]:
     """Trampoline that also captures the item's telemetry.
 
     Forked workers inherit the parent's enabled telemetry; the capture
     sink redirects the item's events into a picklable capsule that
     rides back over the result pipe alongside the result, so the
-    parent can replay them in item order.
+    parent can replay them in item order.  On failure the partial
+    capsule still rides back — post-mortem traces stay complete.
     """
     assert _WORK is not None, "worker forked before _WORK was set"
     with obs.capture() as capsule:
-        result = _WORK(item)
-    return result, capsule.payload()
+        try:
+            result = _WORK(item)
+        except Exception as exc:
+            return (False, (None, capsule.payload()), repr(exc))
+    return (True, (result, capsule.payload()), None)
 
 
 def fork_available() -> bool:
@@ -78,8 +124,18 @@ def fork_available() -> bool:
 
 
 def available_parallelism() -> int:
-    """Best-effort count of usable cores."""
-    return os.cpu_count() or 1
+    """Best-effort count of cores *this process may actually use*.
+
+    ``os.cpu_count()`` reports the machine's cores, which over-reports
+    inside cgroup- or affinity-restricted environments (containers, CI
+    runners pinned to one core) and would defeat the single-core
+    serial-fallback guard below.  The scheduling affinity mask is the
+    honest number where the platform exposes it.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # macOS/Windows: no affinity API
+        return os.cpu_count() or 1
 
 
 class ParallelRunner:
@@ -91,6 +147,10 @@ class ParallelRunner:
     fork-based process pool.  On one core the pool is pure overhead
     (fork + pipe costs with zero concurrency — the recorded bench run
     measured 0.14x), so it is skipped, with the reason logged once.
+
+    A worker exception fails only its own item: the parent re-executes
+    that item serially (see :func:`_call` / :meth:`_retry`), so one
+    crashed or OOM-killed unit of work no longer aborts a campaign.
     """
 
     def __init__(self, jobs: int = 1) -> None:
@@ -157,6 +217,37 @@ class ParallelRunner:
             return out
         return self._pool_map(_call_captured, fn, work)
 
+    def _retry(
+        self,
+        captured: bool,
+        fn: Callable[[T], Any],
+        item: T,
+        index: int,
+        error: str,
+        worker_payload: tuple,
+    ) -> Any:
+        """Serially re-execute one item whose worker failed.
+
+        A success replaces the failed result (re-captured from scratch,
+        so the merged event stream is exactly what an all-healthy run
+        produces — the worker's partial capsule is discarded).  A
+        second failure raises :class:`ItemError`, preserving the
+        worker's partial capsule for post-mortems.
+        """
+        logger.warning(
+            "worker failed on item #%d (%r): %s; re-executing serially",
+            index, item, error,
+        )
+        obs.emit(obs.WORKER_RETRY, index=index, error=error)
+        try:
+            if captured:
+                with obs.capture() as capsule:
+                    result = fn(item)
+                return (result, capsule.payload())
+            return fn(item)
+        except Exception as exc:
+            raise ItemError(index, item, exc, worker_payload) from exc
+
     def _pool_map(
         self,
         trampoline: Callable[[Any], Any],
@@ -166,20 +257,20 @@ class ParallelRunner:
         global _WORK
         previous = _WORK
         _WORK = fn
+        captured = trampoline is _call_captured
         processes = min(self.jobs, len(work))
         try:
             ctx = multiprocessing.get_context("fork")
             with ctx.Pool(processes=processes) as pool:
                 obs.emit(obs.WORKER_POOL, processes=processes, items=len(work))
-                results = pool.map(trampoline, work)
-                obs.emit(obs.WORKER_MERGE, items=len(results))
-                return results
+                wrapped = pool.map(trampoline, work)
+                obs.emit(obs.WORKER_MERGE, items=len(wrapped))
         except (OSError, ValueError) as exc:  # pool could not be built
             logger.info(
                 "ParallelRunner falling back to serial: pool failed (%s)",
                 exc,
             )
-            if trampoline is _call_captured:
+            if captured:
                 out = []
                 for item in work:
                     with obs.capture() as capsule:
@@ -189,9 +280,23 @@ class ParallelRunner:
             return [fn(item) for item in work]
         finally:
             _WORK = previous
+        results: list[Any] = []
+        for index, (ok, value, error) in enumerate(wrapped):
+            if ok:
+                results.append(value)
+                continue
+            worker_payload = value[1] if captured and value else ()
+            results.append(
+                self._retry(
+                    captured, fn, work[index], index, error or "unknown",
+                    worker_payload,
+                )
+            )
+        return results
 
 
 __all__ = [
+    "ItemError",
     "ParallelRunner",
     "available_parallelism",
     "fork_available",

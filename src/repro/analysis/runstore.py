@@ -1,0 +1,381 @@
+"""Crash-safe run store: durable journals of campaign progress.
+
+The ROADMAP's north star — "heavy traffic, as many scenarios as you can
+imagine" — means searches that outlive a single uninterrupted process.
+This module makes partial progress durable: every completed work item
+(a campaign attempt, a degradation-frontier budget level, a sweep
+point) is journaled to an append-only JSONL *shard* the moment it
+finishes, and a later run against the same store skips the journaled
+items and continues from the exact index position where the previous
+process died.
+
+Layout and guarantees
+---------------------
+::
+
+    <store>/
+      meta.json               # how to re-run: command + args (atomic)
+      shards/<key>.jsonl      # one journal per run content-fingerprint
+
+* **Content-addressed shards.**  A shard's filename is a fingerprint
+  over everything that determines the run's item stream (graph shape,
+  device factory, budgets, seed, link kinds — see
+  :func:`repro.analysis.campaign.campaign_store_key` and friends), so
+  one store directory can be shared across many runs: a resumed run
+  finds exactly its own journal, and an unrelated run gets a fresh one.
+* **Atomic metadata.**  ``meta.json`` is written via
+  :func:`atomic_write_text` (tmp file + ``fsync`` + ``os.replace``): a
+  crash mid-write can never leave a truncated file behind.
+* **Append-only journals with torn-tail recovery.**  Each record is one
+  JSON line, written and flushed in a single call; a process killed
+  mid-append can tear at most the final line, which the loader detects
+  and discards (the item simply re-executes on resume).  Garbage
+  *before* the last line is real corruption and raises
+  :class:`RunStoreError` with a clear message.  ``fsync`` runs at merge
+  points (:meth:`Shard.sync`), every :data:`FSYNC_EVERY` appends, and
+  on close — bounding loss to the unsynced suffix even on power
+  failure, while keeping the per-item cost to a buffered write.
+* **Equivalence.**  A journaled record stores the item's result *and*
+  (when telemetry is enabled) the run-scope event payload the original
+  execution emitted.  Resume replays the payload instead of
+  re-executing, so a resumed run's traces and ``run.*`` metrics are
+  byte-identical to an uninterrupted run's.  Records journaled with
+  telemetry off carry no payload and are deliberately **not** reused by
+  a telemetry-on resume — the item re-executes so the trace stays
+  complete.  Checkpoint reuse/write facts themselves are host-scope
+  events, invisible in exported traces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections.abc import Callable, Iterable, Sequence
+from pathlib import Path
+from typing import Any, TypeVar
+
+from .. import obs
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+STORE_FORMAT = "repro-runstore/1"
+META_NAME = "meta.json"
+SHARD_DIR = "shards"
+
+#: Appends between forced ``fsync`` calls (crash loss bound on power
+#: failure; a plain SIGKILL loses nothing past the buffered write).
+FSYNC_EVERY = 64
+
+
+class RunStoreError(ValueError):
+    """A run store is missing, malformed, or corrupt.
+
+    Subclasses :class:`ValueError` so CLI error handling reports it as
+    a clear one-line message instead of a traceback.
+    """
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically: tmp + fsync + rename.
+
+    The temporary file lives in the destination directory (rename is
+    only atomic within a filesystem) and is fsynced before the
+    ``os.replace``, so a crash at any point leaves either the old file
+    or the complete new one — never a truncated hybrid.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+# -- telemetry payload round-trip -------------------------------------------
+
+
+def encode_payload(payload: Sequence[tuple]) -> list:
+    """A captured event payload as a JSON-safe nested list."""
+    return [
+        [kind, [[name, value] for name, value in fields]]
+        for kind, fields in payload
+    ]
+
+
+def decode_payload(data: Iterable) -> tuple:
+    """The inverse of :func:`encode_payload` (lists back to tuples, as
+    :func:`repro.obs.replay` expects)."""
+    return tuple(
+        (kind, tuple((name, value) for name, value in fields))
+        for kind, fields in data
+    )
+
+
+def run_scope_payload(payload: Sequence[tuple]) -> tuple:
+    """Strip host-scope events (cache luck, worker pools, checkpoint
+    facts) from a captured payload, leaving the deterministic stream a
+    journal record may durably store."""
+    return tuple(
+        (kind, fields)
+        for kind, fields in payload
+        if kind not in obs.HOST_KINDS
+    )
+
+
+def reusable(record: dict | None) -> bool:
+    """May this journal record satisfy the current run's needs?
+
+    A record without a stored event payload cannot reproduce the item's
+    trace, so it only counts when telemetry is off.
+    """
+    if record is None:
+        return False
+    return not obs.is_enabled() or "obs" in record
+
+
+# -- the journal ------------------------------------------------------------
+
+
+class Shard:
+    """One append-only JSONL journal of completed work items.
+
+    Records are ``{"k": item_key, "v": {...}}`` lines; the constructor
+    loads any existing journal into memory (last record wins per key,
+    torn tail tolerated).  :meth:`append` writes and flushes one line —
+    a SIGKILL immediately after still finds the record on disk — and
+    :meth:`sync` fsyncs at merge points.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._records: dict[str, dict] = {}
+        self._fh = None
+        self._unsynced = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            text = self.path.read_text()
+        except OSError as exc:
+            raise RunStoreError(
+                f"cannot read journal shard {self.path}: {exc}"
+            ) from exc
+        pending: dict[str, dict] = {}
+        bad_line: int | None = None
+        lines = text.split("\n")
+        for lineno, line in enumerate(lines, 1):
+            if not line.strip():
+                continue
+            if bad_line is not None:
+                # Parseable-or-not, content after a bad line means the
+                # bad line was not a torn tail: corruption.
+                raise RunStoreError(
+                    f"corrupt journal shard {self.path}: unparseable "
+                    f"record at line {bad_line} is not the final line; "
+                    "the store cannot be trusted for resume"
+                )
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                bad_line = lineno
+                continue
+            if not isinstance(record, dict) or "k" not in record:
+                bad_line = lineno
+                continue
+            pending[str(record["k"])] = record.get("v", {})
+        # A trailing unparseable line is the signature of a crash
+        # mid-append: drop it, the item re-executes on resume.
+        self._records = pending
+
+    def get(self, item_key: str) -> dict | None:
+        """The journaled record for ``item_key``, or ``None``."""
+        return self._records.get(item_key)
+
+    def append(self, item_key: str, value: dict) -> None:
+        """Journal one completed item (write + flush, periodic fsync)."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a")
+        line = json.dumps(
+            {"k": item_key, "v": value},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self._records[item_key] = value
+        self._unsynced += 1
+        obs.emit(obs.CHECKPOINT_WRITE, item=item_key)
+        if self._unsynced >= FSYNC_EVERY:
+            self.sync()
+
+    def sync(self) -> None:
+        """fsync the journal (called at merge points and on close)."""
+        if self._fh is not None and self._unsynced:
+            os.fsync(self._fh.fileno())
+        self._unsynced = 0
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.sync()
+            self._fh.close()
+            self._fh = None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> list[str]:
+        return list(self._records)
+
+    def __enter__(self) -> "Shard":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class RunStore:
+    """A directory of journal shards plus resume metadata."""
+
+    def __init__(self, root: str | Path, create: bool = True) -> None:
+        self.root = Path(root)
+        if create:
+            (self.root / SHARD_DIR).mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise RunStoreError(f"no run store at {self.root}")
+
+    @property
+    def meta_path(self) -> Path:
+        return self.root / META_NAME
+
+    def shard(self, key: str) -> Shard:
+        """The journal shard for content fingerprint ``key``."""
+        return Shard(self.root / SHARD_DIR / f"{key}.jsonl")
+
+    def write_meta(self, command: str, seed: int, args: dict) -> None:
+        """Atomically record how to re-run this store's command."""
+        meta = {
+            "format": STORE_FORMAT,
+            "command": command,
+            "seed": seed,
+            "args": args,
+        }
+        atomic_write_text(
+            self.meta_path, json.dumps(meta, indent=2, sort_keys=True) + "\n"
+        )
+
+    def read_meta(self) -> dict:
+        """The resume metadata; raises :class:`RunStoreError` on a
+        missing, truncated, or foreign file."""
+        try:
+            text = self.meta_path.read_text()
+        except FileNotFoundError:
+            raise RunStoreError(
+                f"{self.meta_path} not found: not a run store (was the "
+                "run started with --checkpoint?)"
+            ) from None
+        except OSError as exc:
+            raise RunStoreError(
+                f"cannot read {self.meta_path}: {exc}"
+            ) from exc
+        try:
+            meta = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise RunStoreError(
+                f"corrupt or truncated run-store metadata in "
+                f"{self.meta_path}: {exc}"
+            ) from exc
+        if not isinstance(meta, dict) or meta.get("format") != STORE_FORMAT:
+            raise RunStoreError(
+                f"{self.meta_path} is not {STORE_FORMAT} metadata "
+                f"(format={meta.get('format') if isinstance(meta, dict) else None!r})"
+            )
+        return meta
+
+
+# -- checkpoint-aware ordered map -------------------------------------------
+
+
+def journaled_map(
+    runner: Any,
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    shard: Shard | None,
+    key_fn: Callable[[T], str],
+    encode: Callable[[R], dict],
+    decode: Callable[[dict], R],
+) -> list[R]:
+    """An ordered map over ``items`` that skips journaled items.
+
+    The workhorse for frontier levels and sweep points: items whose key
+    is already in ``shard`` (with a telemetry payload when one is
+    needed — see :func:`reusable`) decode straight from the journal and
+    replay their recorded events; the rest fan out through ``runner``
+    (a :class:`~repro.analysis.parallel.ParallelRunner`), are merged in
+    item order, and are journaled as they merge.  The journal is
+    fsynced once per call (the merge point).  With ``shard=None`` this
+    degrades to ``runner.map`` semantics exactly.
+
+    Results are byte-identical to an uninterrupted ``runner.map`` —
+    reused items replay the run-scope events their original execution
+    emitted, so traces and ``run.*`` metrics cannot tell the
+    difference.
+    """
+    work = list(items)
+    if shard is None:
+        return runner.map(fn, work)
+    keys = [key_fn(item) for item in work]
+    records = [shard.get(key) for key in keys]
+    fresh_indices = [i for i, rec in enumerate(records) if not reusable(rec)]
+    pooled = runner.map_captured(fn, [work[i] for i in fresh_indices])
+    fresh = dict(zip(fresh_indices, pooled))
+    obs_on = obs.is_enabled()
+    results: list[R] = []
+    for i in range(len(work)):
+        if i in fresh:
+            result, payload = fresh[i]
+            obs.replay(payload)
+            record = {"r": encode(result)}
+            if obs_on:
+                record["obs"] = encode_payload(run_scope_payload(payload))
+            shard.append(keys[i], record)
+        else:
+            record = records[i]
+            assert record is not None
+            obs.emit(obs.CHECKPOINT_REUSE, item=keys[i])
+            obs.replay(decode_payload(record.get("obs", ())))
+            result = decode(record["r"])
+        results.append(result)
+    shard.sync()
+    return results
+
+
+__all__ = [
+    "FSYNC_EVERY",
+    "META_NAME",
+    "RunStore",
+    "RunStoreError",
+    "STORE_FORMAT",
+    "Shard",
+    "atomic_write_text",
+    "decode_payload",
+    "encode_payload",
+    "journaled_map",
+    "reusable",
+    "run_scope_payload",
+]

@@ -10,7 +10,11 @@ engine-constructed counterexample one step below.
 Sweep points are independent deterministic runs, so both sweeps take
 ``jobs=N`` to fan points across a process pool
 (:class:`~repro.analysis.parallel.ParallelRunner`); rows are merged in
-point order, so parallel output is identical to serial.
+point order, so parallel output is identical to serial.  Both sweeps
+also accept a run-store shard (``store=``; see
+:func:`sweep_store_key`): completed points are journaled as they merge
+and an interrupted sweep resumes from the first unfinished point with
+byte-identical rows and traces.
 """
 
 from __future__ import annotations
@@ -19,7 +23,9 @@ from dataclasses import dataclass
 from typing import Any
 
 from .. import obs
+from ..runtime.memo import json_fingerprint
 from .parallel import ParallelRunner
+from .runstore import Shard, journaled_map
 
 from ..core.byzantine import refute_connectivity, refute_node_bound
 from ..graphs.adequacy import classify
@@ -117,6 +123,44 @@ def _run_engine_point(
     )
 
 
+def sweep_store_key(
+    dimension: str, faults: "int | list[int] | tuple[int, ...]",
+    n_nodes: int = 8,
+) -> str:
+    """Content fingerprint naming a sweep's run-store shard.
+
+    Covers the sweep dimension and the knobs that determine its point
+    list (``faults`` is the value list for the node sweep, a single
+    budget for the connectivity sweep), so one store directory can hold
+    checkpoints for many sweeps.
+    """
+    if isinstance(faults, tuple):
+        faults = list(faults)
+    return json_fingerprint(
+        {
+            "kind": "sweep",
+            "dimension": dimension,
+            "faults": faults,
+            "n_nodes": n_nodes,
+        }
+    )
+
+
+def _row_to_jsonable(row: SweepRow) -> dict[str, Any]:
+    return {
+        "n_nodes": row.n_nodes,
+        "connectivity": row.connectivity,
+        "max_faults": row.max_faults,
+        "adequate": row.adequate,
+        "outcome": row.outcome,
+        "detail": row.detail,
+    }
+
+
+def _row_from_jsonable(data: dict[str, Any]) -> SweepRow:
+    return SweepRow(**data)
+
+
 def _node_bound_point(point: tuple[int, int]) -> SweepRow:
     """Evaluate one (f, n) point (module-level: picklable by name)."""
     f, n = point
@@ -130,7 +174,9 @@ def _node_bound_point(point: tuple[int, int]) -> SweepRow:
 
 
 def node_bound_sweep(
-    max_faults_values: tuple[int, ...] = (1, 2), jobs: int = 1
+    max_faults_values: tuple[int, ...] = (1, 2),
+    jobs: int = 1,
+    store: Shard | None = None,
 ) -> list[SweepRow]:
     """Sweep ``n`` across ``3f + 1`` on complete graphs (TIGHT-N)."""
     points = [
@@ -138,7 +184,15 @@ def node_bound_sweep(
         for f in max_faults_values
         for n in range(3, 3 * f + 3)
     ]
-    return ParallelRunner(jobs).map(_node_bound_point, points)
+    return journaled_map(
+        ParallelRunner(jobs),
+        _node_bound_point,
+        points,
+        store,
+        key_fn=lambda point: f"point:{point!r}",
+        encode=_row_to_jsonable,
+        decode=_row_from_jsonable,
+    )
 
 
 def _connectivity_point(point: tuple[tuple[int, ...], int, int]) -> SweepRow:
@@ -169,7 +223,10 @@ def _emit_sweep_point(sweep: str, row: SweepRow) -> None:
 
 
 def connectivity_sweep(
-    max_faults: int = 1, n_nodes: int = 8, jobs: int = 1
+    max_faults: int = 1,
+    n_nodes: int = 8,
+    jobs: int = 1,
+    store: Shard | None = None,
 ) -> list[SweepRow]:
     """Sweep connectivity across ``2f + 1`` on circulant graphs
     (TIGHT-K).  Circulants with offsets ``1..k`` have connectivity
@@ -179,7 +236,15 @@ def connectivity_sweep(
         ((1, 2), max_faults, n_nodes),
         ((1, 2, 3), max_faults, n_nodes),
     ]
-    return ParallelRunner(jobs).map(_connectivity_point, points)
+    return journaled_map(
+        ParallelRunner(jobs),
+        _connectivity_point,
+        points,
+        store,
+        key_fn=lambda point: f"point:{point!r}",
+        encode=_row_to_jsonable,
+        decode=_row_from_jsonable,
+    )
 
 
 def _relay_point(graph: CommunicationGraph, max_faults: int) -> SweepRow:

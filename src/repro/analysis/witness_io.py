@@ -5,6 +5,14 @@ Full behaviors are large; the serialization keeps the argument's
 skeleton — per-behavior correct/faulty sets, verdicts, decisions, and
 chain links — plus engine extras, and can optionally inline the
 violated behaviors' message traces.
+
+All writes are atomic (tmp + fsync + rename, via
+:func:`repro.analysis.runstore.atomic_write_text`): a crash mid-save
+leaves either the previous file or the complete new one, never a
+truncated JSON that a later ``repro campaign --replay`` chokes on.
+Loading goes through :func:`load_json_file`, which turns truncated or
+hand-mangled input into a one-line error naming the file instead of a
+raw ``json`` traceback.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from pathlib import Path
 from typing import Any
 
 from ..core.witness import ImpossibilityWitness
+from .runstore import atomic_write_text
 
 
 def _jsonable(value: Any) -> Any:
@@ -95,16 +104,15 @@ def save_witness(
     path: str | Path,
     include_traces: bool = False,
 ) -> Path:
-    """Write the witness summary as JSON; return the path."""
-    path = Path(path)
-    path.write_text(
+    """Write the witness summary as JSON, atomically; return the path."""
+    return atomic_write_text(
+        path,
         json.dumps(
             witness_to_dict(witness, include_traces=include_traces),
             indent=2,
             sort_keys=True,
-        )
+        ),
     )
-    return path
 
 
 def campaign_to_dict(result: Any) -> dict[str, Any]:
@@ -151,9 +159,42 @@ def campaign_to_dict(result: Any) -> dict[str, Any]:
 
 
 def save_campaign(result: Any, path: str | Path) -> Path:
-    """Write a campaign summary as JSON; return the path."""
-    path = Path(path)
-    path.write_text(
-        json.dumps(campaign_to_dict(result), indent=2, sort_keys=True)
+    """Write a campaign summary as JSON, atomically; return the path."""
+    return atomic_write_text(
+        path, json.dumps(campaign_to_dict(result), indent=2, sort_keys=True)
     )
-    return path
+
+
+def load_json_file(path: str | Path, what: str = "file") -> Any:
+    """Read a JSON file with clear errors instead of raw tracebacks.
+
+    ``what`` names the artifact in the message ("campaign summary",
+    "witness").  Missing files and unparseable content both raise
+    :class:`ValueError` mentioning the path, which the CLI renders as a
+    one-line ``error: ...``.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise ValueError(f"{what} {path} not found") from None
+    except OSError as exc:
+        raise ValueError(f"cannot read {what} {path}: {exc}") from exc
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{what} {path} is corrupt or truncated "
+            f"(not valid JSON: {exc})"
+        ) from exc
+
+
+def load_campaign(path: str | Path) -> dict[str, Any]:
+    """Load a saved campaign summary, validating its shape."""
+    data = load_json_file(path, "campaign summary")
+    if not isinstance(data, dict) or data.get("kind") != "campaign":
+        raise ValueError(
+            f"campaign summary {path} is not a campaign file "
+            "(expected a JSON object with kind='campaign')"
+        )
+    return data

@@ -24,6 +24,9 @@ Examples
     python -m repro campaign --protocol naive --trace out.jsonl --metrics
     python -m repro profile summary out.jsonl
     python -m repro profile events out.jsonl --kind round_end
+    python -m repro campaign --protocol eig --checkpoint ckpt/
+    python -m repro sweep nodes --faults 1 2 --checkpoint ckpt/
+    python -m repro resume ckpt/
 
 Graph specs: ``triangle``, ``diamond``, ``complete:N``, ``ring:N``,
 ``wheel:N``, ``star:N``, ``circulant:N:o1,o2,...``.
@@ -38,6 +41,12 @@ Observability: ``--trace FILE`` on ``attack`` / ``campaign`` / ``sweep``
 records a JSONL telemetry trace of the run (byte-identical for any
 ``--jobs`` value), ``--metrics`` prints the run summary, and ``repro
 profile {summary,events,metrics} FILE`` inspects a recorded trace.
+
+Checkpointing: ``--checkpoint DIR`` on ``campaign`` / ``sweep``
+journals every completed attempt, frontier level, or sweep point to a
+crash-safe run store; ``repro resume DIR`` re-runs the saved command,
+skipping journaled items — output (including ``--json`` files and
+``--trace`` traces) is byte-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -181,12 +190,44 @@ def _cmd_refute(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    if args.dimension == "nodes":
-        rows = node_bound_sweep(tuple(args.faults), jobs=args.jobs)
-        title = f"Theorem 1 node-bound sweep, f in {args.faults}"
-    else:
-        rows = connectivity_sweep(args.faults[0], jobs=args.jobs)
-        title = f"Connectivity sweep, f = {args.faults[0]}"
+    from .analysis.sweep import sweep_store_key
+
+    shard = None
+    if getattr(args, "checkpoint", None):
+        from .analysis.runstore import RunStore
+
+        store = RunStore(args.checkpoint)
+        store.write_meta(
+            "sweep",
+            args.seed,
+            {
+                "dimension": args.dimension,
+                "faults": list(args.faults),
+                "jobs": args.jobs,
+                "trace": getattr(args, "trace", None),
+                "metrics": getattr(args, "metrics", False),
+            },
+        )
+        effective = (
+            list(args.faults)
+            if args.dimension == "nodes"
+            else args.faults[0]
+        )
+        shard = store.shard(sweep_store_key(args.dimension, effective))
+    try:
+        if args.dimension == "nodes":
+            rows = node_bound_sweep(
+                tuple(args.faults), jobs=args.jobs, store=shard
+            )
+            title = f"Theorem 1 node-bound sweep, f in {args.faults}"
+        else:
+            rows = connectivity_sweep(
+                args.faults[0], jobs=args.jobs, store=shard
+            )
+            title = f"Connectivity sweep, f = {args.faults[0]}"
+    finally:
+        if shard is not None:
+            shard.close()
     print(format_table(SWEEP_HEADERS, [r.as_tuple() for r in rows], title))
     return 0
 
@@ -289,9 +330,9 @@ def _cmd_campaign(args) -> int:
     )
 
     if args.replay:
-        import json as _json
+        from .analysis.witness_io import load_campaign
 
-        data = _json.loads(open(args.replay).read())
+        data = load_campaign(args.replay)
         entry = data.get("shrunk") or data.get("found")
         if not entry:
             print("error: replay file holds no counterexample", file=sys.stderr)
@@ -302,17 +343,36 @@ def _cmd_campaign(args) -> int:
         print(trace.describe())
         return 0
 
+    shard = None
+    if getattr(args, "checkpoint", None):
+        from .analysis.campaign import campaign_store_key, frontier_store_key
+        from .analysis.runstore import RunStore
+
+        store = RunStore(args.checkpoint)
+        store.write_meta("campaign", args.seed, _campaign_meta_args(args))
+        key = (
+            frontier_store_key(config)
+            if args.frontier
+            else campaign_store_key(config)
+        )
+        shard = store.shard(key)
+
     if args.frontier:
         from .analysis.campaign import FRONTIER_HEADERS
 
         frontier_cache = BehaviorCache() if args.cache_stats else None
-        frontier = degradation_frontier(
-            config,
-            jobs=args.jobs,
-            cache=frontier_cache,
-            orbit_dedup=args.orbit_dedup,
-            incremental=args.incremental,
-        )
+        try:
+            frontier = degradation_frontier(
+                config,
+                jobs=args.jobs,
+                cache=frontier_cache,
+                orbit_dedup=args.orbit_dedup,
+                incremental=args.incremental,
+                store=shard,
+            )
+        finally:
+            if shard is not None:
+                shard.close()
         print(
             format_table(
                 FRONTIER_HEADERS,
@@ -330,14 +390,19 @@ def _cmd_campaign(args) -> int:
 
     cache = BehaviorCache()
     stats = SearchStats()
-    result = run_campaign(
-        config,
-        jobs=args.jobs,
-        cache=cache,
-        orbit_dedup=args.orbit_dedup,
-        incremental=args.incremental,
-        stats=stats,
-    )
+    try:
+        result = run_campaign(
+            config,
+            jobs=args.jobs,
+            cache=cache,
+            orbit_dedup=args.orbit_dedup,
+            incremental=args.incremental,
+            stats=stats,
+            store=shard,
+        )
+    finally:
+        if shard is not None:
+            shard.close()
     registry = obs.get_registry()
     if registry is not None:
         obs.absorb_search_stats(registry, stats)
@@ -355,6 +420,72 @@ def _cmd_campaign(args) -> int:
         path = save_campaign(result, args.json)
         print(f"campaign written to {path}")
     return 0
+
+
+def _campaign_meta_args(args) -> dict:
+    """The campaign flags a run store must save so ``repro resume`` can
+    rebuild the exact command (the global ``--seed`` is saved
+    separately)."""
+    return {
+        "protocol": args.protocol,
+        "graph": args.graph,
+        "faults": args.faults,
+        "links": args.links,
+        "rounds": args.rounds,
+        "attempts": args.attempts,
+        "kinds": args.kinds,
+        "jobs": args.jobs,
+        "orbit_dedup": args.orbit_dedup,
+        "incremental": args.incremental,
+        "cache_stats": args.cache_stats,
+        "frontier": args.frontier,
+        "replay": None,
+        "json": args.json,
+        "verbose": args.verbose,
+        "trace": getattr(args, "trace", None),
+        "metrics": getattr(args, "metrics", False),
+    }
+
+
+def _cmd_resume(args) -> int:
+    """Re-run the command a ``--checkpoint`` store was created by,
+    skipping journaled work items.
+
+    The store's ``meta.json`` holds the original subcommand, seed and
+    flags; output — including ``--json`` files and ``--trace`` traces —
+    is byte-identical to an uninterrupted run.  ``--jobs`` may be
+    overridden (results are identical for any value).
+    """
+    from .analysis.runstore import RunStore
+
+    store = RunStore(args.dir, create=False)
+    meta = store.read_meta()
+    handlers = {"campaign": _cmd_campaign, "sweep": _cmd_sweep}
+    handler = handlers.get(meta["command"])
+    if handler is None:
+        raise ValueError(
+            f"run store {args.dir} was written by unknown command "
+            f"{meta['command']!r}"
+        )
+    saved = dict(meta["args"])
+    if args.jobs is not None:
+        saved["jobs"] = args.jobs
+    resumed = argparse.Namespace(
+        seed=meta["seed"], checkpoint=args.dir, **saved
+    )
+    # main() decided telemetry from the bare `resume` args; the saved
+    # command's own --trace/--metrics flags are honored here instead.
+    telemetry = _telemetry_requested(resumed)
+    if telemetry:
+        obs.enable()
+    try:
+        code = handler(resumed)
+        if telemetry:
+            _finish_telemetry(resumed)
+        return code
+    finally:
+        if telemetry:
+            obs.reset()
 
 
 def _cmd_profile(args) -> int:
@@ -445,6 +576,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan sweep points across N worker processes "
         "(output identical to serial)",
     )
+    _add_checkpoint_flag(p, "sweep points")
     _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_sweep)
 
@@ -533,8 +665,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="print the shrunk counterexample's injection trace",
     )
+    _add_checkpoint_flag(p, "attempts (or frontier levels)")
     _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "resume",
+        help="resume an interrupted --checkpoint campaign or sweep",
+    )
+    p.add_argument(
+        "dir", help="the --checkpoint directory of the interrupted run"
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="override the saved --jobs value (results are identical "
+        "for any value)",
+    )
+    p.set_defaults(func=_cmd_resume)
 
     p = sub.add_parser(
         "profile", help="inspect a JSONL telemetry trace (--trace output)"
@@ -557,6 +704,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_profile)
 
     return parser
+
+
+def _add_checkpoint_flag(p: argparse.ArgumentParser, items: str) -> None:
+    p.add_argument(
+        "--checkpoint", metavar="DIR",
+        help=f"journal completed {items} to a crash-safe run store in "
+        "DIR; 'repro resume DIR' continues an interrupted run with "
+        "byte-identical output",
+    )
 
 
 def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:

@@ -61,14 +61,28 @@ SPAN_END = "span_end"
 # host scope: process-local optimization/lifecycle facts.  Excluded
 # from exported traces (and from cached-attempt replay payloads), so
 # the deterministic stream never depends on which process got lucky.
+# Checkpoint/resume facts live here too: whether an item was journaled
+# by an earlier process must not change the exported trace.
 CACHE_HIT = "cache_hit"
 CACHE_MISS = "cache_miss"
 TRIE_REPLAY = "trie_replay"
 WORKER_POOL = "worker_pool"
 WORKER_MERGE = "worker_merge"
+WORKER_RETRY = "worker_retry"
+CHECKPOINT_WRITE = "checkpoint_write"
+CHECKPOINT_REUSE = "checkpoint_reuse"
 
 HOST_KINDS = frozenset(
-    {CACHE_HIT, CACHE_MISS, TRIE_REPLAY, WORKER_POOL, WORKER_MERGE}
+    {
+        CACHE_HIT,
+        CACHE_MISS,
+        TRIE_REPLAY,
+        WORKER_POOL,
+        WORKER_MERGE,
+        WORKER_RETRY,
+        CHECKPOINT_WRITE,
+        CHECKPOINT_REUSE,
+    }
 )
 
 RUN_KINDS = frozenset(
@@ -367,6 +381,8 @@ __all__ = [
     "ATTEMPT_START",
     "CACHE_HIT",
     "CACHE_MISS",
+    "CHECKPOINT_REUSE",
+    "CHECKPOINT_WRITE",
     "Capsule",
     "Event",
     "EventLog",
@@ -386,6 +402,7 @@ __all__ = [
     "TRIE_REPLAY",
     "WORKER_MERGE",
     "WORKER_POOL",
+    "WORKER_RETRY",
     "capture",
     "disable",
     "emit",

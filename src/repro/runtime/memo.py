@@ -120,6 +120,18 @@ def fingerprint(*parts: Any) -> str:
     return digest.hexdigest()
 
 
+def json_fingerprint(value: Any) -> str:
+    """Fingerprint of any JSON-serialisable value, via its canonical
+    (sorted-keys) JSON form.
+
+    The shared primitive behind :func:`plan_fingerprint` and the run
+    store's content-addressed shard keys: equal values fingerprint
+    identically however they were assembled, and the key survives a
+    round-trip through JSON persistence.
+    """
+    return fingerprint(json.dumps(value, sort_keys=True))
+
+
 def plan_fingerprint(plan: FaultPlan | None) -> str:
     """Canonical fingerprint of a fault plan (``None`` = fault-free).
 
@@ -128,7 +140,7 @@ def plan_fingerprint(plan: FaultPlan | None) -> str:
     """
     if plan is None:
         return "fault-free"
-    return fingerprint(json.dumps(plan.to_dict(), sort_keys=True))
+    return json_fingerprint(plan.to_dict())
 
 
 def graph_fingerprint(graph: "CommunicationGraph") -> str:
@@ -217,6 +229,7 @@ __all__ = [
     "behavior_cache_of",
     "fingerprint",
     "graph_fingerprint",
+    "json_fingerprint",
     "memoized_run",
     "plan_fingerprint",
 ]

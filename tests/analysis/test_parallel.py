@@ -126,3 +126,132 @@ class TestAdversarySearchParallelEquivalence:
             g, _naive_factory, 1, 3, attempts=30, seed=2
         )
         assert first == second
+
+
+class TestAvailableParallelism:
+    def test_prefers_scheduling_affinity(self, monkeypatch):
+        import os
+
+        # cgroup/affinity-restricted container: the scheduler allows 2
+        # cores even though the machine reports many more.
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 5})
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert available_parallelism() == 2
+
+    def test_falls_back_to_cpu_count_without_affinity_api(
+        self, monkeypatch
+    ):
+        import os
+
+        def no_affinity(pid):
+            raise AttributeError("sched_getaffinity")
+
+        monkeypatch.setattr(os, "sched_getaffinity", no_affinity)
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        assert available_parallelism() == 3
+
+    def test_empty_affinity_mask_still_positive(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set())
+        assert available_parallelism() == 1
+
+
+def _forced_pool_runner(jobs=2):
+    """A runner that uses the fork pool even on a 1-core CI box."""
+    import pytest
+
+    if not fork_available():
+        pytest.skip("fork start method unavailable")
+    runner = ParallelRunner(jobs)
+    runner.fallback_reason = None
+    return runner
+
+
+class TestWorkerFaultTolerance:
+    def test_worker_only_crash_is_retried_serially(self):
+        import os
+
+        from repro.analysis.parallel import ItemError  # noqa: F401
+
+        parent = os.getpid()
+
+        def flaky(x):
+            if os.getpid() != parent:
+                raise RuntimeError("worker exploded")
+            return x * 2
+
+        runner = _forced_pool_runner()
+        # Every item fails in its worker; the serial retries in the
+        # parent succeed, so the map completes with full results.
+        assert runner.map(flaky, [1, 2, 3]) == [2, 4, 6]
+
+    def test_deterministic_failure_raises_item_error_with_identity(self):
+        from repro.analysis.parallel import ItemError
+
+        def bad(x):
+            if x == 7:
+                raise ValueError("cannot handle seven")
+            return x
+
+        runner = _forced_pool_runner()
+        import pytest
+
+        with pytest.raises(ItemError) as excinfo:
+            runner.map(bad, [5, 7, 9])
+        err = excinfo.value
+        assert err.index == 1
+        assert err.item == 7
+        assert "#1" in str(err) and "7" in str(err)
+        assert isinstance(err.__cause__, ValueError)
+
+    def test_item_error_preserves_worker_capsule(self):
+        from repro import obs
+        from repro.analysis.parallel import ItemError
+
+        def emits_then_dies(x):
+            obs.emit(obs.ROUND_START, round=x)
+            raise RuntimeError("post-emit crash")
+
+        runner = _forced_pool_runner()
+        import pytest
+
+        obs.enable()
+        try:
+            with pytest.raises(ItemError) as excinfo:
+                runner.map(emits_then_dies, [10, 11])
+        finally:
+            obs.reset()
+        payload = excinfo.value.payload
+        assert (obs.ROUND_START, (("round", 10),)) in payload
+
+    def test_retry_keeps_campaign_identical_to_healthy_run(self):
+        import os
+
+        parent = os.getpid()
+
+        def worker_hostile_factory(graph):
+            # Dies in every forked worker (simulating an OOM-killed
+            # child) but works in the parent, so each attempt fails in
+            # the pool and succeeds on its serial retry.
+            if os.getpid() != parent:
+                raise RuntimeError("worker lost")
+            return {u: MajorityVoteDevice() for u in graph.nodes}
+
+        def config(factory):
+            return CampaignConfig(
+                graph=complete_graph(4),
+                device_factory=factory,
+                rounds=3,
+                attempts=40,
+                seed=11,
+                max_link_faults=2,
+            )
+
+        golden = run_campaign(config(_naive_factory))
+        crashed = run_campaign(config(worker_hostile_factory), jobs=2)
+        assert golden.broken and crashed.broken
+        # The configs differ only by factory identity; compare the
+        # parts of the serialized result that don't embed it.
+        g, c = campaign_to_dict(golden), campaign_to_dict(crashed)
+        assert g == c
